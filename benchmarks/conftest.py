@@ -1,0 +1,56 @@
+"""Benchmark harness configuration.
+
+Each benchmark regenerates one paper artefact (table or figure) at the
+``tiny`` reduced scale by default (DESIGN.md §4) and writes the rendered
+ASCII report to ``benchmarks/out/<name>.txt`` so the regenerated series
+can be inspected and diffed against EXPERIMENTS.md.
+
+Set ``REPRO_BENCH_SCALE=small`` (or ``paper``, hours of runtime) to
+regenerate at larger scales.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+def bench_scale() -> str:
+    return os.environ.get("REPRO_BENCH_SCALE", "tiny")
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    return bench_scale()
+
+
+@pytest.fixture(scope="session")
+def report_dir() -> pathlib.Path:
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+@pytest.fixture()
+def save_report(report_dir):
+    """Callable fixture: persist a figure's rendered report."""
+
+    def _save(name: str, report: str) -> None:
+        path = report_dir / f"{name}.txt"
+        path.write_text(report + "\n")
+
+    return _save
+
+
+@pytest.fixture()
+def save_csv(report_dir):
+    """Callable fixture: persist a figure's raw series as CSV."""
+    from repro.experiments.export import write_csv
+
+    def _save(name: str, columns, rows) -> None:
+        write_csv(report_dir / f"{name}.csv", columns, rows)
+
+    return _save

@@ -1,0 +1,124 @@
+"""Ablation benchmarks for the design decisions called out in DESIGN.md.
+
+1. **Buffer size** (packet-granularity VCT substitution): saturation
+   behaviour must be stable across a wide range of per-port buffering,
+   showing the reproduced saturation points are not artefacts of the
+   100 KB default.
+2. **SF p = floor vs ceil**: the ceil variant carries more endpoints
+   per router and saturates earlier under uniform traffic (Sec. 4.3.1).
+3. **Arrival process**: Poisson vs deterministic injection shifts
+   latency but not the saturation point.
+4. **UGAL congestion signal**: the local queue-count signal vs a
+   degenerate zero signal (oblivious minimal) -- quantifies how much of
+   the worst-case rescue comes from the adaptive signal itself.
+"""
+
+import pytest
+
+from repro.routing import MinimalRouting, UGALRouting
+from repro.routing.base import NULL_CONGESTION
+from repro.sim import Network, SimConfig
+from repro.topology import MLFM, SlimFly
+from repro.traffic import UniformRandom, worst_case_traffic
+
+WARMUP = 1_500.0
+MEASURE = 5_000.0
+
+
+def _throughput(topo, routing, pattern, load, config=None, arrival="poisson"):
+    net = Network(topo, routing, config or SimConfig())
+    return net.run_synthetic(
+        pattern, load=load, warmup_ns=WARMUP, measure_ns=MEASURE, seed=5, arrival=arrival
+    ).throughput
+
+
+def test_ablation_buffer_size(benchmark, save_report):
+    """WC saturation is buffer-size independent (it is a path-count
+    limit, not a buffering limit)."""
+    mlfm = MLFM(5)
+    wc = worst_case_traffic(mlfm)
+
+    def sweep():
+        rows = []
+        for buf in (10_000, 50_000, 100_000, 200_000):
+            cfg = SimConfig(buffer_bytes_per_port=buf)
+            thr = _throughput(mlfm, MinimalRouting(mlfm, seed=1), wc, 0.5, cfg)
+            rows.append((buf, thr))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    for buf, thr in rows:
+        assert thr == pytest.approx(1.0 / mlfm.h, rel=0.15), rows
+    save_report(
+        "ablation_buffer",
+        "\n".join(f"buffer={b:7d}B  wc_throughput={t:.3f}" for b, t in rows),
+    )
+
+
+def test_ablation_sf_floor_vs_ceil(benchmark, save_report):
+    """Sec. 4.3.1: p = ceil(r'/2) saturates earlier under uniform."""
+
+    def compare():
+        out = {}
+        for mode in ("floor", "ceil"):
+            sf = SlimFly(5, mode)
+            out[mode] = _throughput(
+                sf, MinimalRouting(sf, seed=1), UniformRandom(sf.num_nodes), 0.97
+            )
+        return out
+
+    out = benchmark.pedantic(compare, rounds=1, iterations=1)
+    assert out["ceil"] < out["floor"]
+    save_report(
+        "ablation_floor_ceil",
+        f"uniform throughput @0.97 load: floor={out['floor']:.3f} ceil={out['ceil']:.3f}",
+    )
+
+
+def test_ablation_arrival_process(benchmark, save_report):
+    """Poisson vs deterministic injection: same saturation."""
+    sf = SlimFly(5)
+
+    def compare():
+        return {
+            arrival: _throughput(
+                sf, MinimalRouting(sf, seed=1), UniformRandom(sf.num_nodes), 0.5,
+                arrival=arrival,
+            )
+            for arrival in ("poisson", "deterministic")
+        }
+
+    out = benchmark.pedantic(compare, rounds=1, iterations=1)
+    assert out["poisson"] == pytest.approx(out["deterministic"], rel=0.1)
+    save_report(
+        "ablation_arrival",
+        "\n".join(f"{k}: throughput={v:.3f}" for k, v in out.items()),
+    )
+
+
+def test_ablation_ugal_signal(benchmark, save_report):
+    """Blinding UGAL (NULL congestion signal) collapses it to minimal
+    behaviour on the worst case -- the live queue signal is what buys
+    the rescue."""
+    sf = SlimFly(5)
+    wc = worst_case_traffic(sf, seed=2)
+
+    class BlindUGAL(UGALRouting):
+        def route(self, s, d, congestion=NULL_CONGESTION):
+            return super().route(s, d, NULL_CONGESTION)
+
+    def compare():
+        sighted = _throughput(
+            sf, UGALRouting(sf, cost_mode="sf", num_indirect=4, seed=1), wc, 0.4
+        )
+        blind = _throughput(
+            sf, BlindUGAL(sf, cost_mode="sf", num_indirect=4, seed=1), wc, 0.4
+        )
+        return {"sighted": sighted, "blind": blind}
+
+    out = benchmark.pedantic(compare, rounds=1, iterations=1)
+    assert out["sighted"] > 1.5 * out["blind"], out
+    save_report(
+        "ablation_ugal_signal",
+        f"wc throughput @0.4: sighted={out['sighted']:.3f} blind={out['blind']:.3f}",
+    )

@@ -1,0 +1,108 @@
+"""Sec. 2.3.3 diversity bench plus core microbenchmarks.
+
+The microbenchmarks time the hot building blocks (event kernel,
+topology construction, route computation, static analysis) so
+performance regressions in the simulator substrate are visible.
+"""
+
+from repro.analysis import channel_loads_minimal, uniform_flows
+from repro.experiments import diversity_data
+from repro.routing import MinimalRouting, UGALRouting
+from repro.sim import Network
+from repro.sim.engine import Engine
+from repro.topology import MLFM, OFT, SlimFly
+from repro.traffic import UniformRandom
+
+
+def test_diversity(benchmark, save_report, scale):
+    """Sec. 2.3.3: path diversity statistics for the four configs."""
+    data = benchmark.pedantic(diversity_data, args=(scale,), rounds=1, iterations=1)
+    by_name = {s.topology: s for s in data["stats"]}
+    mlfm = next(s for n, s in by_name.items() if n.startswith("MLFM"))
+    oft = next(s for n, s in by_name.items() if n.startswith("OFT"))
+    # MLFM column pairs have h paths; OFT symmetric pairs have k.
+    assert mlfm.max == max(int(x) for x in mlfm.histogram)
+    assert oft.max in oft.histogram
+    sf = next(s for n, s in by_name.items() if n.startswith("SF"))
+    assert sf.mean_distance2 is not None and sf.mean_distance2 < 1.5
+    save_report("diversity", data["report"])
+
+
+def test_micro_engine_throughput(benchmark):
+    """Event-kernel speed: schedule+run 20k no-op events."""
+
+    def run_events():
+        e = Engine()
+        noop = lambda: None
+        for i in range(20_000):
+            e.schedule(float(i % 97), noop)
+        e.run()
+        return e.events_executed
+
+    assert benchmark(run_events) == 20_000
+
+
+def test_micro_slimfly_construction(benchmark):
+    """MMS graph construction cost (q = 13, the paper's config)."""
+    sf = benchmark(SlimFly, 13)
+    assert sf.num_nodes == 3042
+
+
+def test_micro_oft_construction(benchmark):
+    oft = benchmark(OFT, 12)
+    assert oft.num_nodes == 3192
+
+
+def test_micro_mlfm_construction(benchmark):
+    mlfm = benchmark(MLFM, 15)
+    assert mlfm.num_nodes == 3600
+
+
+def test_micro_minimal_route_lookup(benchmark):
+    """Cached minimal-route computation over many pairs."""
+    sf = SlimFly(7)
+    mr = MinimalRouting(sf, seed=1)
+
+    def lookup():
+        total = 0
+        for d in range(1, sf.num_routers):
+            total += mr.route(0, d).num_hops
+        return total
+
+    assert benchmark(lookup) > 0
+
+
+def test_micro_ugal_route_decision(benchmark):
+    """UGAL decision cost (the per-packet injection-time work)."""
+    sf = SlimFly(7)
+    net = Network(sf, MinimalRouting(sf, seed=1))  # provides congestion iface
+    ug = UGALRouting(sf, cost_mode="sf", num_indirect=4, seed=1)
+
+    def decide():
+        for d in range(1, 200):
+            ug.route(0, d % sf.num_routers or 1, net)
+
+    benchmark(decide)
+
+
+def test_micro_linkload_uniform(benchmark):
+    """Static uniform link-load analysis on the SF q=7."""
+    sf = SlimFly(7)
+    loads = benchmark.pedantic(
+        channel_loads_minimal, args=(sf, list(uniform_flows(sf))), rounds=1, iterations=1
+    )
+    assert loads
+
+
+def test_micro_simulation_rate(benchmark):
+    """End-to-end simulated events per wall-clock second (tiny SF)."""
+    sf = SlimFly(5)
+
+    def simulate():
+        net = Network(sf, MinimalRouting(sf, seed=1))
+        net.run_synthetic(
+            UniformRandom(sf.num_nodes), load=0.5, warmup_ns=500, measure_ns=2000, seed=3
+        )
+        return net.engine.events_executed
+
+    assert benchmark.pedantic(simulate, rounds=1, iterations=1) > 10_000

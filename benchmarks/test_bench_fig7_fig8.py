@@ -1,0 +1,72 @@
+"""Figs. 7/8 benchmarks: SF adaptive routing parameter sensitivity.
+
+Fig. 7 (SF-A): throughput matches MIN under uniform and clearly beats
+MIN's 1/(2p) collapse under worst-case; low cSF inflates uniform
+latency (indirect paths chosen too eagerly).
+
+Fig. 8 (SF-ATh, T=10%): same throughput, but the threshold suppresses
+the high-load uniform latency creep of the generic algorithm.
+"""
+
+from repro.experiments import fig7_data, fig8_data
+from repro.experiments.configs import SCALES
+
+UNI = (0.5, 0.8)
+WC = (0.1, 0.3)
+NI = (1, 4)
+CSF = (0.5, 2.0)
+
+
+def _series(rows):
+    """(param, pattern) -> {load: (throughput, latency, indirect_frac)}."""
+    out = {}
+    for _cfg, param, pattern, load, thr, lat, ifrac in rows:
+        out.setdefault((param, pattern), {})[load] = (thr, lat, ifrac)
+    return out
+
+
+def test_fig7_sf_a(benchmark, save_report, scale):
+    data = benchmark.pedantic(
+        fig7_data,
+        kwargs=dict(scale=scale, uni_loads=UNI, wc_loads=WC, ni_values=NI, csf_values=CSF),
+        rounds=1,
+        iterations=1,
+    )
+    q = SCALES[scale]["q"]
+    from repro.topology import SlimFly
+
+    p = SlimFly(q, "floor").p
+    wc_collapse = 1.0 / (2 * p)
+
+    a = _series(data["a"]["rows"])
+    for ni in NI:
+        key = (f"num_indirect={ni}", "UNI")
+        assert a[key][0.5][0] >= 0.45  # sustains uniform load
+        key_wc = (f"num_indirect={ni}", "WC")
+        assert a[key_wc][0.3][0] > 1.5 * wc_collapse  # rescues the WC
+
+    # Fig. 7b: lower cSF -> higher uniform latency (eager indirect).
+    b = _series(data["b"]["rows"])
+    lat_low_c = b[("c_sf=0.5", "UNI")][0.8][1]
+    lat_high_c = b[("c_sf=2", "UNI")][0.8][1]
+    assert lat_low_c > lat_high_c * 0.95  # low c never better, usually worse
+
+    save_report("fig7", data["report"])
+
+
+def test_fig8_sf_ath(benchmark, save_report, scale):
+    data = benchmark.pedantic(
+        fig8_data,
+        kwargs=dict(scale=scale, uni_loads=UNI, wc_loads=WC, ni_values=NI, csf_values=CSF),
+        rounds=1,
+        iterations=1,
+    )
+    a = _series(data["a"]["rows"])
+    # The threshold keeps packets minimal under moderate uniform load.
+    for ni in NI:
+        ifrac = a[(f"num_indirect={ni}", "UNI")][0.5][2]
+        assert ifrac < 0.10, ifrac
+    # Worst-case still rescued above the collapse point.
+    for ni in NI:
+        assert a[(f"num_indirect={ni}", "WC")][0.3][0] > 0.2
+    save_report("fig8", data["report"])

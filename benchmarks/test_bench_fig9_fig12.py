@@ -1,0 +1,96 @@
+"""Figs. 9-12 benchmarks: MLFM/OFT adaptive parameter sensitivity.
+
+Fig. 9 (MLFM-A) and Fig. 10 (OFT-A): generic UGAL reaches MIN-level
+uniform throughput and INR-level worst-case throughput across the
+parameter grid.  Fig. 11 (MLFM-ATh) and Fig. 12 (OFT-ATh): the T=10%
+threshold keeps uniform traffic minimal (low indirect fraction) at the
+cost of worst-case latency at low loads, as the paper reports.
+"""
+
+from repro.experiments import fig9_data, fig10_data, fig11_data, fig12_data
+from repro.experiments.configs import SCALES
+
+UNI = (0.5, 0.8)
+WC = (0.1, 0.3)
+NI = (1, 5)
+C = (1.0, 4.0)
+
+
+def _series(rows):
+    out = {}
+    for _cfg, param, pattern, load, thr, lat, ifrac in rows:
+        out.setdefault((param, pattern), {})[load] = (thr, lat, ifrac)
+    return out
+
+
+def _wc_bound(wc_collapse, load):
+    """Adaptive must clearly beat the minimal-routing collapse, capped
+    below the offered load (throughput can never exceed it)."""
+    return min(1.3 * wc_collapse, 0.9 * load)
+
+
+def _check_adaptive_shape(data, wc_collapse):
+    a = _series(data["a"]["rows"])
+    for (param, pattern), series in a.items():
+        if pattern == "UNI":
+            assert series[0.5][0] >= 0.45, (param, series)
+        else:
+            assert series[0.3][0] > _wc_bound(wc_collapse, 0.3), (param, series)
+
+
+def test_fig9_mlfm_a(benchmark, save_report, scale):
+    data = benchmark.pedantic(
+        fig9_data,
+        kwargs=dict(scale=scale, uni_loads=UNI, wc_loads=WC, ni_values=NI, c_values=C),
+        rounds=1, iterations=1,
+    )
+    h = SCALES[scale]["h"]
+    _check_adaptive_shape(data, 1.0 / h)
+    save_report("fig9", data["report"])
+
+
+def test_fig10_oft_a(benchmark, save_report, scale):
+    data = benchmark.pedantic(
+        fig10_data,
+        kwargs=dict(scale=scale, uni_loads=UNI, wc_loads=WC, ni_values=NI, c_values=C),
+        rounds=1, iterations=1,
+    )
+    k = SCALES[scale]["k"]
+    _check_adaptive_shape(data, 1.0 / k)
+    save_report("fig10", data["report"])
+
+
+def test_fig11_mlfm_ath(benchmark, save_report, scale):
+    data = benchmark.pedantic(
+        fig11_data,
+        kwargs=dict(scale=scale, uni_loads=UNI, wc_loads=WC, ni_values=NI, c_values=C),
+        rounds=1, iterations=1,
+    )
+    a = _series(data["a"]["rows"])
+    # Threshold: uniform traffic stays essentially minimal.
+    for (param, pattern), series in a.items():
+        if pattern == "UNI":
+            assert series[0.5][2] < 0.10, (param, series)
+    # Worst case still rescued.
+    h = SCALES[scale]["h"]
+    for (param, pattern), series in a.items():
+        if pattern == "WC":
+            assert series[0.3][0] > _wc_bound(1.0 / h, 0.3), (param, series)
+    save_report("fig11", data["report"])
+
+
+def test_fig12_oft_ath(benchmark, save_report, scale):
+    data = benchmark.pedantic(
+        fig12_data,
+        kwargs=dict(scale=scale, uni_loads=UNI, wc_loads=WC, ni_values=NI, c_values=C),
+        rounds=1, iterations=1,
+    )
+    a = _series(data["a"]["rows"])
+    for (param, pattern), series in a.items():
+        if pattern == "UNI":
+            assert series[0.5][2] < 0.10, (param, series)
+    k = SCALES[scale]["k"]
+    for (param, pattern), series in a.items():
+        if pattern == "WC":
+            assert series[0.3][0] > _wc_bound(1.0 / k, 0.3), (param, series)
+    save_report("fig12", data["report"])

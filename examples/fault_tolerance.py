@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Link-failure resilience of the diameter-two designs (extension).
+
+The paper notes (Sec. 2.3.3) that these topologies trade minimal-path
+diversity for scalability; this example quantifies the operational
+flip side: how connectivity, endpoint diameter and diversity degrade
+as random links fail, and how a single failure affects live traffic.
+
+Run:  python examples/fault_tolerance.py
+"""
+
+from repro.analysis import fault_resilience
+from repro.analysis.faults import degrade, safe_vc_policy
+from repro.experiments.report import ascii_table
+from repro.routing import MinimalRouting
+from repro.sim import Network
+from repro.topology import MLFM, OFT, SlimFly
+from repro.traffic import UniformRandom
+
+
+def main() -> None:
+    print("== Static degradation sweep (random link failures) ==")
+    rows = []
+    for topo in (SlimFly(5), MLFM(5), OFT(4)):
+        for trial in fault_resilience(
+            topo, fractions=(0.0, 0.02, 0.05, 0.10), trials=4, seed=1
+        ):
+            rows.append(
+                [topo.name, f"{trial.fraction:.0%}", f"{trial.connected_fraction:.2f}",
+                 f"{trial.mean_endpoint_diameter:.2f}", trial.worst_endpoint_diameter,
+                 f"{trial.mean_diversity:.2f}"]
+            )
+    print(ascii_table(
+        ["topology", "failed", "connected", "mean ep-diam", "worst ep-diam", "mean divers."],
+        rows,
+    ))
+
+    print("\n== Live traffic across a single failed link (Slim Fly) ==")
+    sf = SlimFly(5)
+    victim = next(iter(sf.edges()))
+    degraded = degrade(sf, links=[victim])
+    rows = []
+    for label, topo in (("intact", sf), (f"link {victim} failed", degraded)):
+        # Degraded networks can have >2-hop minimal paths; size the VC
+        # budget accordingly (safe_vc_policy measures the new diameter).
+        net = Network(topo, MinimalRouting(topo, vc_policy=safe_vc_policy(topo), seed=1))
+        stats = net.run_synthetic(
+            UniformRandom(topo.num_nodes), load=0.6,
+            warmup_ns=2_000, measure_ns=6_000, seed=5,
+        )
+        rows.append([label, f"{stats.throughput:.3f}", f"{stats.mean_latency_ns:.0f} ns"])
+    print(ascii_table(["network", "throughput @0.6", "mean latency"], rows))
+    print("""
+A single failure barely moves uniform-traffic performance (the MMS
+graph re-routes around it with 2-hop alternatives), but the static
+sweep shows the single-path structure of the SSPTs pushes some pairs
+to 3-4 hop routes well before connectivity is lost.""")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Routing-strategy comparison under benign and adversarial traffic.
+
+Reproduces the heart of the paper's Sec. 4.3 story on one topology:
+
+- minimal routing is ideal for uniform traffic but collapses to 1/h on
+  the MLFM's worst-case shift pattern;
+- indirect random (Valiant) routing halves uniform throughput but
+  rescues the worst case;
+- UGAL-L adaptive routing gets the best of both, per packet.
+
+Run:  python examples/routing_comparison.py [h]
+"""
+
+import sys
+
+from repro.experiments.report import ascii_table
+from repro.routing import IndirectRandomRouting, MinimalRouting, UGALRouting
+from repro.sim import Network
+from repro.topology import MLFM
+from repro.traffic import UniformRandom, worst_case_traffic
+
+
+def measure(topo, routing, pattern, load):
+    net = Network(topo, routing)
+    stats = net.run_synthetic(
+        pattern, load=load, warmup_ns=2_000, measure_ns=8_000, seed=11
+    )
+    return stats.throughput, stats.mean_latency_ns
+
+
+def main() -> None:
+    h = int(sys.argv[1]) if len(sys.argv) > 1 else 5
+    topo = MLFM(h)
+    print(f"Topology: {topo.name}  (N={topo.num_nodes}, R={topo.num_routers})")
+    print(f"Worst-case analytic saturation under minimal routing: 1/h = {1 / h:.3f}\n")
+
+    routings = {
+        "MIN": lambda: MinimalRouting(topo, seed=1),
+        "INR": lambda: IndirectRandomRouting(topo, seed=1),
+        "UGAL-A": lambda: UGALRouting(topo, c=2.0, num_indirect=5, seed=1),
+        "UGAL-ATh": lambda: UGALRouting(topo, c=2.0, num_indirect=5, threshold=0.10, seed=1),
+    }
+    patterns = {
+        "uniform @ 0.80": (lambda: UniformRandom(topo.num_nodes), 0.80),
+        "worst-case @ 0.40": (lambda: worst_case_traffic(topo), 0.40),
+    }
+
+    rows = []
+    for rname, rfactory in routings.items():
+        for pname, (pfactory, load) in patterns.items():
+            thr, lat = measure(topo, rfactory(), pfactory(), load)
+            rows.append([rname, pname, f"{thr:.3f}", f"{lat:.0f} ns"])
+    print(ascii_table(["routing", "pattern", "throughput", "mean latency"], rows))
+
+    print("""
+Reading the table:
+- MIN sustains 0.80 uniform but only ~1/h of the worst case.
+- INR sustains ~0.40 on BOTH (it makes every pattern look uniform, at
+  half bandwidth and double latency).
+- UGAL variants keep MIN's uniform performance and INR's worst-case
+  rescue; the threshold variant additionally keeps low-load uniform
+  packets on minimal paths (compare latencies).""")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Topology explorer: scalability, bisection and path diversity.
+
+Regenerates the paper's analytic comparisons (Sec. 2.3, Figs. 3-4) for
+any radix budget:
+
+- feasible (radix, N) scaling points per family,
+- the best configuration per family at the budget,
+- approximate bisection bandwidth (multilevel partitioner),
+- minimal-path diversity statistics.
+
+Run:  python examples/topology_explorer.py [max_radix]
+"""
+
+import sys
+
+from repro.analysis import (
+    bisection_bandwidth,
+    nodes_at_radix,
+    path_diversity_stats,
+    scalability_points,
+    spectral_stats,
+)
+from repro.experiments.report import ascii_table
+from repro.topology import MLFM, OFT, SlimFly
+
+
+def main() -> None:
+    max_radix = int(sys.argv[1]) if len(sys.argv) > 1 else 64
+
+    print(f"== Scalability at radix budget {max_radix} (Fig. 3) ==")
+    rows = []
+    for family in ("SF", "SF-ceil", "MLFM", "OFT", "HyperX2D", "FT2", "FT3"):
+        points = scalability_points(family, max_radix)
+        best = nodes_at_radix(family, max_radix)
+        rows.append([family, len(points), best])
+    print(ascii_table(["family", "feasible configs", f"best N @ r<={max_radix}"], rows))
+
+    print("\n== Bisection bandwidth (Fig. 4, reduced scale) ==")
+    rows = []
+    for topo in (SlimFly(7, "floor"), SlimFly(7, "ceil"), MLFM(7), OFT(6)):
+        bb = bisection_bandwidth(topo, restarts=6, seed=1)
+        rows.append([bb.topology, topo.num_nodes, int(bb.cut_links), f"{bb.per_node:.3f}"])
+    print(ascii_table(["topology", "N", "cut links", "bisection b/node"], rows))
+
+    print("\n== Minimal-path diversity (Sec. 2.3.3) ==")
+    rows = []
+    for topo in (SlimFly(9), MLFM(5), OFT(4)):
+        st = path_diversity_stats(topo)
+        rows.append(
+            [st.topology, st.num_pairs, f"{st.mean:.3f}", st.max,
+             f"{st.mean_distance2:.3f}" if st.mean_distance2 else "", st.max_distance2]
+        )
+    print(ascii_table(
+        ["topology", "pairs", "mean", "max", "mean d2", "max d2"], rows
+    ))
+    print("""
+Notes: the MLFM's max diversity is h (same-column pairs), the OFT's is
+k (symmetric counterparts), and the SF has only sparse diversity among
+distance-2 pairs -- the scalability/diversity trade-off of Sec. 2.3.3.""")
+
+    print("\n== Spectral structure (why uniform traffic flows so well) ==")
+    rows = []
+    for topo in (SlimFly(7), MLFM(5), OFT(4)):
+        s = spectral_stats(topo)
+        rows.append(
+            [s.topology, f"{s.degree:.1f}", f"{s.lambda2:.3f}", f"{s.spectral_gap:.3f}",
+             "yes" if s.is_ramanujan else "no", "yes" if s.bipartite else "no"]
+        )
+    print(ascii_table(
+        ["topology", "degree", "lambda2", "gap", "Ramanujan", "bipartite"], rows
+    ))
+    print("All three router graphs meet the Ramanujan bound -- optimal "
+          "expanders,\nwhich is the structural reason minimal routing "
+          "sustains near-full uniform load.")
+
+
+if __name__ == "__main__":
+    main()

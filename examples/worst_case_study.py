@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Anatomy of the adversarial worst-case patterns (paper Sec. 4.2, Fig. 5).
+
+For each topology this example:
+
+1. constructs the paper's worst-case permutation,
+2. computes the *analytic* per-link loads (static analysis -- no
+   simulation) and the implied saturation throughput,
+3. verifies the collapse points 1/(2p), 1/h and 1/k,
+4. cross-checks one simulated point against the analytic prediction.
+
+Run:  python examples/worst_case_study.py
+"""
+
+from repro.analysis import channel_loads_minimal, permutation_flows, saturation_throughput
+from repro.experiments.report import ascii_table
+from repro.routing import MinimalRouting
+from repro.sim import Network
+from repro.topology import MLFM, OFT, SlimFly
+from repro.traffic import worst_case_traffic
+from repro.traffic.worstcase import SlimFlyWorstCase
+
+
+def main() -> None:
+    rows = []
+    for topo, expected in (
+        (SlimFly(5), lambda t: 1.0 / (2 * t.p)),
+        (MLFM(5), lambda t: 1.0 / t.h),
+        (OFT(4), lambda t: 1.0 / t.k),
+    ):
+        wc = worst_case_traffic(topo, seed=2)
+        loads = channel_loads_minimal(topo, permutation_flows(wc.destinations))
+        analytic = saturation_throughput(loads)
+
+        net = Network(topo, MinimalRouting(topo, seed=1))
+        stats = net.run_synthetic(wc, load=0.5, warmup_ns=2_000, measure_ns=8_000, seed=3)
+
+        rows.append(
+            [topo.name, f"{max(loads.values()):.1f}", f"{expected(topo):.3f}",
+             f"{analytic:.3f}", f"{stats.throughput:.3f}"]
+        )
+
+        if isinstance(wc, SlimFlyWorstCase):
+            print(f"{topo.name}: greedy distance-2 chain(s) of length(s) "
+                  f"{[len(c) for c in wc.chains]}")
+        else:
+            print(f"{topo.name}: node-shift by p = {wc.shift} "
+                  f"(all of a router's nodes target the next router)")
+
+    print()
+    print(ascii_table(
+        ["topology", "max link load", "paper bound", "analytic sat", "simulated thr @0.5"],
+        rows,
+        title="Worst-case traffic under minimal routing",
+    ))
+    print("""
+The most-loaded link carries 2p (SF) / h (MLFM) / k (OFT) flows, so
+minimal routing saturates at the reciprocal -- the paper's 5% / 6.6% /
+8.3% figures at its scale.  The simulated column confirms the static
+analysis end-to-end.""")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,419 @@
+"""Command-line interface.
+
+Gives shell access to the library's main entry points::
+
+    python -m repro info sf:q=13
+    python -m repro simulate mlfm:h=5 --routing ugal --pattern worstcase --load 0.4
+    python -m repro sweep oft:k=4 --routing min --pattern uniform --loads 0.2,0.5,0.8
+    python -m repro exchange sf:q=5 --pattern a2a --routing min
+    python -m repro figure fig6 --scale tiny
+    python -m repro scalability --max-radix 64
+    python -m repro bisection oft:k=6
+
+Topology specs are ``family:key=value,...``:
+
+- ``sf:q=5[,p=floor|ceil|<int>]``
+- ``mlfm:h=5[,l=...,p=...]``      - ``oft:k=4[,p=...]``
+- ``sspt:r1=4,r2=2``              - ``hyperx:r=9`` or ``hyperx:s1=4,s2=4,p=3``
+- ``ft2:r=8``  ``ft3:r=8``        - ``dfly:p=2[,a=...,h=...]``
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional
+
+from repro.topology import (
+    MLFM,
+    OFT,
+    SSPT,
+    Dragonfly,
+    FatTree2L,
+    FatTree3L,
+    HyperX2D,
+    SlimFly,
+    Topology,
+)
+
+__all__ = ["main", "parse_topology"]
+
+
+def _parse_kv(spec: str) -> Dict[str, str]:
+    out: Dict[str, str] = {}
+    if not spec:
+        return out
+    for item in spec.split(","):
+        if "=" not in item:
+            raise ValueError(f"bad parameter {item!r} (expected key=value)")
+        key, value = item.split("=", 1)
+        out[key.strip()] = value.strip()
+    return out
+
+
+def parse_topology(spec: str) -> Topology:
+    """Build a topology from a ``family:key=value,...`` spec string."""
+    family, _, params = spec.partition(":")
+    kv = _parse_kv(params)
+    family = family.lower()
+    try:
+        if family == "sf":
+            p: object = kv.get("p", "floor")
+            if p not in ("floor", "ceil"):
+                p = int(p)  # type: ignore[arg-type]
+            return SlimFly(int(kv["q"]), p)  # type: ignore[arg-type]
+        if family == "mlfm":
+            return MLFM(
+                int(kv["h"]),
+                l=int(kv["l"]) if "l" in kv else None,
+                p=int(kv["p"]) if "p" in kv else None,
+            )
+        if family == "oft":
+            return OFT(int(kv["k"]), p=int(kv["p"]) if "p" in kv else None)
+        if family == "sspt":
+            return SSPT(int(kv["r1"]), int(kv["r2"]))
+        if family == "hyperx":
+            if "r" in kv:
+                return HyperX2D.balanced(int(kv["r"]))
+            return HyperX2D(int(kv["s1"]), int(kv["s2"]), int(kv["p"]) if "p" in kv else None)
+        if family == "ft2":
+            return FatTree2L(int(kv["r"]))
+        if family == "ft3":
+            return FatTree3L(int(kv["r"]))
+        if family == "dfly":
+            return Dragonfly(
+                int(kv["p"]),
+                a=int(kv["a"]) if "a" in kv else None,
+                h=int(kv["h"]) if "h" in kv else None,
+            )
+    except KeyError as exc:
+        raise ValueError(f"topology spec {spec!r}: missing parameter {exc}") from exc
+    raise ValueError(f"unknown topology family {family!r}")
+
+
+def _make_routing(topology: Topology, name: str, seed: int):
+    from repro.routing import IndirectRandomRouting, MinimalRouting, UGALRouting
+
+    name = name.lower()
+    if name == "min":
+        return MinimalRouting(topology, seed=seed)
+    if name == "inr":
+        return IndirectRandomRouting(topology, seed=seed)
+    if name in ("ugal", "ugal-a"):
+        if isinstance(topology, SlimFly):
+            return UGALRouting(topology, cost_mode="sf", c_sf=1.0, num_indirect=4, seed=seed)
+        return UGALRouting(topology, c=2.0, num_indirect=4, seed=seed)
+    if name in ("ugal-ath", "ugalth"):
+        if isinstance(topology, SlimFly):
+            return UGALRouting(
+                topology, cost_mode="sf", c_sf=1.0, num_indirect=4, threshold=0.10, seed=seed
+            )
+        return UGALRouting(topology, c=2.0, num_indirect=4, threshold=0.10, seed=seed)
+    raise ValueError(f"unknown routing {name!r} (min | inr | ugal | ugal-ath)")
+
+
+def _make_pattern(topology: Topology, name: str, seed: int):
+    from repro.traffic import (
+        BitComplement,
+        BitReverse,
+        HotspotTraffic,
+        ShiftTraffic,
+        Tornado,
+        Transpose,
+        UniformRandom,
+        worst_case_traffic,
+    )
+
+    name = name.lower()
+    if name == "uniform":
+        return UniformRandom(topology.num_nodes)
+    if name == "worstcase":
+        return worst_case_traffic(topology, seed=seed)
+    if name.startswith("shift"):
+        _, _, arg = name.partition(":")
+        shift = int(arg) if arg else topology.nodes_attached(topology.endpoint_routers()[0])
+        return ShiftTraffic(topology.num_nodes, shift)
+    if name == "bitcomp":
+        return BitComplement(topology.num_nodes)
+    if name == "bitrev":
+        return BitReverse(topology.num_nodes)
+    if name == "transpose":
+        return Transpose(topology.num_nodes)
+    if name == "tornado":
+        return Tornado(topology.num_nodes)
+    if name.startswith("hotspot"):
+        _, _, arg = name.partition(":")
+        fraction = float(arg) if arg else 0.2
+        return HotspotTraffic(topology.num_nodes, hotspots=[0], hot_fraction=fraction)
+    raise ValueError(
+        f"unknown pattern {name!r} (uniform | worstcase | shift[:k] | bitcomp | "
+        f"bitrev | transpose | tornado | hotspot[:frac])"
+    )
+
+
+def _cmd_info(args) -> int:
+    from repro.analysis import cost_metrics
+    from repro.experiments.report import ascii_table
+
+    topo = parse_topology(args.topology)
+    m = cost_metrics(topo, with_diameter=not args.no_diameter)
+    rows = [
+        ["name", m.topology],
+        ["end-nodes (N)", m.num_nodes],
+        ["routers (R)", m.num_routers],
+        ["max radix", m.max_radix],
+        ["router links", topo.num_router_links],
+        ["ports / node", f"{m.ports_per_node:.3f}"],
+        ["links / node", f"{m.links_per_node:.3f}"],
+    ]
+    if m.diameter is not None:
+        rows.append(["endpoint diameter", m.diameter])
+    print(ascii_table(["metric", "value"], rows))
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    from repro.sim import Network
+
+    topo = parse_topology(args.topology)
+    net = Network(topo, _make_routing(topo, args.routing, args.seed))
+    stats = net.run_synthetic(
+        _make_pattern(topo, args.pattern, args.seed),
+        load=args.load,
+        warmup_ns=args.warmup,
+        measure_ns=args.measure,
+        seed=args.seed,
+    )
+    print(
+        f"{topo.name} routing={args.routing} pattern={args.pattern} load={args.load:.2f}: "
+        f"throughput={stats.throughput:.3f} mean_latency={stats.mean_latency_ns:.1f}ns "
+        f"p99={stats.p99_latency_ns:.1f}ns packets={stats.ejected_packets}"
+    )
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    from repro.experiments import load_sweep, saturation_point
+    from repro.experiments.report import ascii_table
+
+    topo = parse_topology(args.topology)
+    loads = [float(x) for x in args.loads.split(",")]
+    points = load_sweep(
+        topo,
+        lambda t, s: _make_routing(t, args.routing, s),
+        lambda t: _make_pattern(t, args.pattern, args.seed),
+        loads,
+        warmup_ns=args.warmup,
+        measure_ns=args.measure,
+        seed=args.seed,
+    )
+    rows = [
+        [p.load, p.throughput, p.mean_latency_ns, p.indirect_fraction] for p in points
+    ]
+    print(ascii_table(["load", "throughput", "latency ns", "indirect frac"], rows))
+    print(f"saturation point: {saturation_point(points):.3f}")
+    return 0
+
+
+def _cmd_exchange(args) -> int:
+    from repro.sim import Network
+    from repro.traffic import AllToAll, NearestNeighbor3D, paper_torus_dims
+
+    topo = parse_topology(args.topology)
+    if args.pattern == "a2a":
+        exchange = AllToAll(topo.num_nodes, message_bytes=args.msg_bytes, seed=args.seed)
+    elif args.pattern == "nn":
+        exchange = NearestNeighbor3D(
+            topo.num_nodes, message_bytes=args.msg_bytes, dims=paper_torus_dims(topo)
+        )
+    else:
+        raise ValueError(f"unknown exchange pattern {args.pattern!r} (a2a | nn)")
+    net = Network(topo, _make_routing(topo, args.routing, args.seed))
+    res = net.run_exchange(exchange)
+    print(
+        f"{topo.name} {args.pattern} routing={args.routing}: "
+        f"effective_throughput={res['effective_throughput']:.3f} "
+        f"completion={res['completion_ns'] / 1000:.2f}us "
+        f"packets={int(res['packets'])}"
+    )
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    from repro import experiments
+
+    func = getattr(experiments, f"{args.figure}_data", None)
+    if func is None:
+        valid = [n[: -len("_data")] for n in dir(experiments) if n.endswith("_data")]
+        raise ValueError(f"unknown figure {args.figure!r}; choose from {sorted(valid)}")
+    if args.figure in ("table2", "fig3"):
+        data = func()
+    else:
+        data = func(args.scale)
+    print(data["report"])
+    return 0
+
+
+def _cmd_validate(args) -> int:
+    """Network doctor: structure, deadlock, forwarding-table checks."""
+    from repro.routing import build_cdg_indirect, build_cdg_minimal
+    from repro.routing.tables import ForwardingTables
+    from repro.routing.vc import default_vc_policy
+    from repro.topology.validate import validate_topology
+
+    topo = parse_topology(args.topology)
+    failures = 0
+
+    report = validate_topology(topo)
+    print(f"structure: {'OK' if report.ok else 'FAIL'} "
+          f"(endpoint diameter {report.diameter})")
+    for problem in report.problems:
+        print(f"  - {problem}")
+    failures += not report.ok
+
+    policy = default_vc_policy(topo)
+    minimal_ok = build_cdg_minimal(topo, policy).is_acyclic()
+    print(f"deadlock (minimal, {type(policy).__name__}, "
+          f"{policy.num_vcs(False)} VC): {'OK' if minimal_ok else 'FAIL'}")
+    failures += not minimal_ok
+    if not args.skip_indirect:
+        indirect_ok = build_cdg_indirect(topo, policy).is_acyclic()
+        print(f"deadlock (indirect, {policy.num_vcs(True)} VC): "
+              f"{'OK' if indirect_ok else 'FAIL'}")
+        failures += not indirect_ok
+
+    tables = ForwardingTables(topo)
+    problems = tables.verify()
+    print(f"forwarding tables: {'OK' if not problems else 'FAIL'} "
+          f"({tables.total_entries()} entries)")
+    for problem in problems[:5]:
+        print(f"  - {problem}")
+    failures += bool(problems)
+
+    print("verdict:", "HEALTHY" if failures == 0 else f"{failures} check(s) failed")
+    return 0 if failures == 0 else 1
+
+
+def _cmd_reproduce(args) -> int:
+    from repro.experiments.export import write_json
+    from repro.experiments.summary import run_all, write_summary
+
+    only = args.only.split(",") if args.only else None
+
+    def progress(exp_id: str, seconds: float) -> None:
+        print(f"  {exp_id}: done in {seconds:.1f}s")
+
+    print(f"Reproducing {'all experiments' if only is None else only} at scale {args.scale}")
+    results = run_all(scale=args.scale, only=only, progress=progress)
+    write_summary(results, args.output, scale=args.scale)
+    print(f"summary written to {args.output}")
+    if args.json:
+        write_json(args.json, {k: {kk: vv for kk, vv in v.items() if kk != "report"}
+                               for k, v in results.items()})
+        print(f"raw data written to {args.json}")
+    return 0
+
+
+def _cmd_scalability(args) -> int:
+    from repro.analysis import scalability_table
+    from repro.experiments.report import ascii_table
+
+    table = scalability_table(args.max_radix)
+    rows = sorted(table.items(), key=lambda kv: -kv[1])
+    print(ascii_table(["family", f"max N @ radix {args.max_radix}"], rows))
+    return 0
+
+
+def _cmd_bisection(args) -> int:
+    from repro.analysis import bisection_bandwidth
+
+    topo = parse_topology(args.topology)
+    bb = bisection_bandwidth(topo, restarts=args.restarts, seed=args.seed)
+    print(
+        f"{bb.topology}: cut={bb.cut_links:.0f} links, "
+        f"bisection={bb.per_node:.3f} b/node, imbalance={bb.imbalance:.3f}"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Cost-effective diameter-two topologies (SC '15) toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("info", help="topology metrics")
+    p.add_argument("topology")
+    p.add_argument("--no-diameter", action="store_true")
+    p.set_defaults(func=_cmd_info)
+
+    def add_sim_args(p):
+        p.add_argument("topology")
+        p.add_argument("--routing", default="min")
+        p.add_argument("--pattern", default="uniform")
+        p.add_argument("--warmup", type=float, default=2_000.0)
+        p.add_argument("--measure", type=float, default=8_000.0)
+        p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("simulate", help="one synthetic-traffic simulation")
+    add_sim_args(p)
+    p.add_argument("--load", type=float, default=0.5)
+    p.set_defaults(func=_cmd_simulate)
+
+    p = sub.add_parser("sweep", help="offered-load sweep")
+    add_sim_args(p)
+    p.add_argument("--loads", default="0.2,0.4,0.6,0.8")
+    p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser("exchange", help="finite exchange (a2a | nn)")
+    p.add_argument("topology")
+    p.add_argument("--pattern", default="a2a", choices=["a2a", "nn"])
+    p.add_argument("--routing", default="min")
+    p.add_argument("--msg-bytes", type=int, default=512)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_exchange)
+
+    p = sub.add_parser("figure", help="regenerate a paper artefact")
+    p.add_argument("figure", help="table2 | fig3 | ... | fig14 | diversity")
+    p.add_argument("--scale", default="tiny", choices=["tiny", "small", "paper"])
+    p.set_defaults(func=_cmd_figure)
+
+    p = sub.add_parser("validate", help="structure/deadlock/table checks")
+    p.add_argument("topology")
+    p.add_argument("--skip-indirect", action="store_true",
+                   help="skip the (larger) indirect-routing CDG check")
+    p.set_defaults(func=_cmd_validate)
+
+    p = sub.add_parser("reproduce", help="run all table/figure reproductions")
+    p.add_argument("--scale", default="tiny", choices=["tiny", "small", "paper"])
+    p.add_argument("--only", default=None, help="comma-separated experiment ids")
+    p.add_argument("--output", default="reproduction_summary.md")
+    p.add_argument("--json", default=None, help="also dump raw data as JSON")
+    p.set_defaults(func=_cmd_reproduce)
+
+    p = sub.add_parser("scalability", help="Fig. 3 summary")
+    p.add_argument("--max-radix", type=int, default=64)
+    p.set_defaults(func=_cmd_scalability)
+
+    p = sub.add_parser("bisection", help="Fig. 4 estimate for one topology")
+    p.add_argument("topology")
+    p.add_argument("--restarts", type=int, default=6)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_bisection)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # Output piped into a closed reader (e.g. `| head`): not an error.
+        return 0

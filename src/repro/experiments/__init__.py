@@ -1,0 +1,72 @@
+"""Experiment harness: configurations, sweep drivers and per-figure
+reproduction functions (DESIGN.md §3 maps paper artefacts to these)."""
+
+from repro.experiments.configs import (
+    SCALES,
+    ExperimentConfig,
+    SimWindows,
+    configs_for_scale,
+    windows_for_scale,
+)
+from repro.experiments.figures import (
+    diversity_data,
+    fig3_data,
+    fig4_data,
+    fig5_data,
+    fig6_data,
+    fig7_data,
+    fig8_data,
+    fig9_data,
+    fig10_data,
+    fig11_data,
+    fig12_data,
+    fig13_data,
+    fig14_data,
+    table2_data,
+    tail_effects_data,
+)
+from repro.experiments.export import rows_to_dicts, write_csv, write_json
+from repro.experiments.report import ascii_table, format_value, series_table
+from repro.experiments.runner import (
+    ReplicatedPoint,
+    SweepPoint,
+    load_sweep,
+    load_sweep_replicated,
+    run_exchange,
+    saturation_point,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "SCALES",
+    "SimWindows",
+    "configs_for_scale",
+    "windows_for_scale",
+    "SweepPoint",
+    "ReplicatedPoint",
+    "load_sweep",
+    "load_sweep_replicated",
+    "saturation_point",
+    "run_exchange",
+    "write_csv",
+    "write_json",
+    "rows_to_dicts",
+    "ascii_table",
+    "series_table",
+    "format_value",
+    "table2_data",
+    "fig3_data",
+    "fig4_data",
+    "fig5_data",
+    "fig6_data",
+    "fig7_data",
+    "fig8_data",
+    "fig9_data",
+    "fig10_data",
+    "fig11_data",
+    "fig12_data",
+    "fig13_data",
+    "fig14_data",
+    "diversity_data",
+    "tail_effects_data",
+]

@@ -1,0 +1,86 @@
+"""Oblivious minimal routing (paper Sec. 3.1).
+
+For the diameter-two topologies every minimal route between distinct
+endpoint routers is the direct edge (Slim Fly only) or a two-hop route
+through a common neighbor.  When several minimal paths exist (rare:
+same-column MLFM pairs, symmetric OFT pairs, a few SF pairs) the paper's
+footnote offers two selections -- uniformly at random, or the one whose
+first output buffer is least occupied; both are implemented.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.routing.base import (
+    NULL_CONGESTION,
+    ROUTE_MINIMAL,
+    CongestionContext,
+    Route,
+    RoutingAlgorithm,
+)
+from repro.routing.paths import MinimalPaths
+from repro.routing.vc import VCPolicy, default_vc_policy
+from repro.topology.base import Topology
+
+__all__ = ["MinimalRouting"]
+
+
+class MinimalRouting(RoutingAlgorithm):
+    """Oblivious minimal routing.
+
+    Parameters
+    ----------
+    topology:
+        The network.
+    vc_policy:
+        Defaults to the paper's scheme for the topology
+        (:func:`repro.routing.vc.default_vc_policy`).
+    selection:
+        ``"random"`` (default) picks uniformly among minimal paths;
+        ``"best"`` picks the one with the least-occupied first output
+        buffer (paper footnote 1).
+    seed:
+        RNG seed for reproducible random selections.
+    """
+
+    name = "MIN"
+
+    def __init__(
+        self,
+        topology: Topology,
+        vc_policy: Optional[VCPolicy] = None,
+        selection: str = "random",
+        seed: int = 0,
+    ):
+        if selection not in ("random", "best"):
+            raise ValueError(f"MinimalRouting: unknown selection {selection!r}")
+        self.topology = topology
+        self.vc_policy = vc_policy if vc_policy is not None else default_vc_policy(topology)
+        self.selection = selection
+        self.paths = MinimalPaths(topology)
+        self._rng = random.Random(seed)
+
+    @property
+    def num_vcs(self) -> int:
+        return self.vc_policy.num_vcs(uses_indirect=False)
+
+    def route(
+        self,
+        src_router: int,
+        dst_router: int,
+        congestion: CongestionContext = NULL_CONGESTION,
+    ) -> Route:
+        candidates = self.paths.paths(src_router, dst_router)
+        if len(candidates) == 1:
+            routers = candidates[0]
+        elif self.selection == "random":
+            routers = candidates[self._rng.randrange(len(candidates))]
+        else:
+            routers = min(
+                candidates,
+                key=lambda p: congestion.queue_len(p[0], p[1]) if len(p) > 1 else 0,
+            )
+        vcs = self.vc_policy.assign(routers, None)
+        return Route(routers=routers, vcs=vcs, kind=ROUTE_MINIMAL, intermediate=None)

@@ -1,0 +1,179 @@
+"""UGAL-L adaptive routing (paper Sec. 3.3).
+
+The local variant of the Universal Globally-Adaptive Load-balanced
+algorithm selects, per packet at injection time, between the minimal
+route and one of ``nI`` randomly chosen indirect routes, based on the
+occupancy of each candidate's *first output port* at the source router:
+
+- minimal cost:  ``C_M = q_M``
+- indirect cost: ``C_I^j = c * q_I^j``
+
+where the penalty ``c`` is
+
+- a constant (MLFM-A / OFT-A), or
+- ``(L_I^j / L_M) * c_SF`` for the Slim Fly (SF-A), following the
+  original UGAL cost that scales with the path-length ratio.
+
+The *threshold* variants (SF-ATh, MLFM-ATh, OFT-ATh) route minimally
+whenever ``q_M < T`` (``T`` a fraction of the buffer size) and only run
+the adaptive choice above the threshold -- the paper's fix for the
+generic algorithm's latency creep at high uniform loads.
+
+Ties are broken in favour of the minimal route, so an idle network
+routes minimally.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Sequence
+
+from repro.routing.base import (
+    NULL_CONGESTION,
+    ROUTE_MINIMAL,
+    CongestionContext,
+    Route,
+    RoutingAlgorithm,
+)
+from repro.routing.minimal import MinimalRouting
+from repro.routing.valiant import IndirectRandomRouting
+from repro.routing.vc import VCPolicy, default_vc_policy
+from repro.topology.base import Topology
+
+__all__ = ["UGALRouting"]
+
+
+class UGALRouting(RoutingAlgorithm):
+    """UGAL-L with constant or Slim-Fly (length-ratio) penalty and
+    optional minimal-routing threshold.
+
+    Parameters
+    ----------
+    topology:
+        The network.
+    num_indirect:
+        ``nI``, the number of indirect candidates evaluated per packet.
+    c:
+        Constant penalty (MLFM-A / OFT-A) -- ignored in ``"sf"`` mode.
+    cost_mode:
+        ``"const"`` for ``C_I = c * q_I``; ``"sf"`` for
+        ``C_I = (L_I / L_M) * c_SF * q_I``.
+    c_sf:
+        The Slim Fly constant ``c_SF`` (``"sf"`` mode only).
+    threshold:
+        If set (fraction of the buffer capacity, e.g. ``0.10`` for the
+        paper's ``T = 10%``), packets route minimally while
+        ``q_M < threshold * capacity`` (the "-ATh" variants).
+    signal:
+        ``"local"`` (default, the paper's UGAL-L: first output port at
+        the source router) or ``"global"`` (the UGAL-G oracle the paper
+        deems impractical to implement: the *maximum* queue along the
+        entire candidate path) -- kept for the local-vs-global ablation.
+    minimal_selection:
+        Passed through to :class:`MinimalRouting`.
+    seed:
+        RNG seed.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        num_indirect: int = 4,
+        c: float = 2.0,
+        cost_mode: str = "const",
+        c_sf: float = 1.0,
+        threshold: Optional[float] = None,
+        vc_policy: Optional[VCPolicy] = None,
+        minimal_selection: str = "random",
+        seed: int = 0,
+        intermediates: Optional[Sequence[int]] = None,
+        signal: str = "local",
+    ):
+        if cost_mode not in ("const", "sf"):
+            raise ValueError(f"UGALRouting: unknown cost_mode {cost_mode!r}")
+        if signal not in ("local", "global"):
+            raise ValueError(f"UGALRouting: unknown signal {signal!r}")
+        if num_indirect < 1:
+            raise ValueError(f"UGALRouting: nI={num_indirect} must be >= 1")
+        if threshold is not None and not (0.0 <= threshold <= 1.0):
+            raise ValueError(f"UGALRouting: threshold {threshold} must be in [0, 1]")
+        self.topology = topology
+        self.vc_policy = vc_policy if vc_policy is not None else default_vc_policy(topology)
+        self.num_indirect = num_indirect
+        self.c = float(c)
+        self.cost_mode = cost_mode
+        self.c_sf = float(c_sf)
+        self.threshold = threshold
+        self.signal = signal
+        self._rng = random.Random(seed)
+        self._minimal = MinimalRouting(
+            topology, vc_policy=self.vc_policy, selection=minimal_selection, seed=seed + 1
+        )
+        self._indirect = IndirectRandomRouting(
+            topology, vc_policy=self.vc_policy, seed=seed + 2, intermediates=intermediates
+        )
+        suffix = "ATh" if threshold is not None else "A"
+        if signal == "global":
+            suffix = "G" + suffix[1:] if suffix != "A" else "G"
+        self.name = f"UGAL-{suffix}"
+
+    @property
+    def num_vcs(self) -> int:
+        return self.vc_policy.num_vcs(uses_indirect=True)
+
+    def route(
+        self,
+        src_router: int,
+        dst_router: int,
+        congestion: CongestionContext = NULL_CONGESTION,
+    ) -> Route:
+        minimal = self._minimal.route(src_router, dst_router, congestion)
+        if minimal.num_hops == 0:
+            return minimal
+        q_min = self._occupancy(minimal, congestion)
+
+        if self.threshold is not None:
+            if q_min < self.threshold * congestion.queue_capacity():
+                return minimal
+
+        best = minimal
+        best_cost = float(q_min)
+        len_min = max(minimal.num_hops, 1)
+        for _ in range(self.num_indirect):
+            candidate = self._indirect.route(src_router, dst_router, congestion)
+            q_ind = self._occupancy(candidate, congestion)
+            if self.cost_mode == "sf":
+                penalty = (candidate.num_hops / len_min) * self.c_sf
+            else:
+                penalty = self.c
+            cost = penalty * q_ind
+            # Strict inequality: ties go to the (shorter) minimal route.
+            if cost < best_cost:
+                best = candidate
+                best_cost = cost
+        return best
+
+    def _occupancy(self, route: Route, congestion: CongestionContext) -> int:
+        """The congestion signal of a candidate route.
+
+        Local (UGAL-L): occupancy of the first output port at the
+        source router.  Global (UGAL-G): the worst occupancy along the
+        whole path.
+        """
+        routers = route.routers
+        if self.signal == "local":
+            return congestion.queue_len(routers[0], routers[1])
+        return max(
+            congestion.queue_len(routers[i], routers[i + 1])
+            for i in range(len(routers) - 1)
+        )
+
+    def describe(self) -> str:
+        """Short parameter string for reports (e.g. ``"UGAL-A(nI=4,c=2)"``)."""
+        if self.cost_mode == "sf":
+            inner = f"nI={self.num_indirect},cSF={self.c_sf:g}"
+        else:
+            inner = f"nI={self.num_indirect},c={self.c:g}"
+        if self.threshold is not None:
+            inner += f",T={self.threshold:.0%}"
+        return f"{self.name}({inner})"

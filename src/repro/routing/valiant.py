@@ -1,0 +1,127 @@
+"""Oblivious indirect random (Valiant) routing (paper Sec. 3.2).
+
+A packet is first minimally routed to a uniformly random intermediate
+router ``Ri`` (``Ri`` different from source and destination), then
+minimally routed to its destination.
+
+Intermediate eligibility follows the paper: for the Slim Fly *any*
+router qualifies (indirect paths of 2--4 hops); for the SSPTs only
+routers directly connected to end-nodes qualify (L0/L2 for the OFT,
+local routers for the MLFM), which pins indirect paths to exactly
+4 hops -- long enough to load-balance, short enough for latency.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Sequence, Tuple
+
+from repro.routing.base import (
+    NULL_CONGESTION,
+    ROUTE_INDIRECT,
+    ROUTE_MINIMAL,
+    CongestionContext,
+    Route,
+    RoutingAlgorithm,
+)
+from repro.routing.paths import MinimalPaths
+from repro.routing.vc import VCPolicy, default_vc_policy
+from repro.topology.base import Topology
+
+__all__ = ["IndirectRandomRouting", "compose_indirect"]
+
+
+def compose_indirect(
+    first_leg: Tuple[int, ...], second_leg: Tuple[int, ...]
+) -> Tuple[Tuple[int, ...], int]:
+    """Concatenate two minimal legs sharing the intermediate router.
+
+    Returns ``(routers, intermediate_index)``; the duplicated
+    intermediate is collapsed.
+    """
+    if first_leg[-1] != second_leg[0]:
+        raise ValueError(
+            f"compose_indirect: legs do not meet ({first_leg[-1]} != {second_leg[0]})"
+        )
+    routers = first_leg + second_leg[1:]
+    return routers, len(first_leg) - 1
+
+
+class IndirectRandomRouting(RoutingAlgorithm):
+    """Valiant's algorithm with topology-restricted intermediates.
+
+    Parameters
+    ----------
+    topology:
+        The network; ``topology.valiant_intermediates()`` defines the
+        eligible intermediates.
+    vc_policy:
+        Defaults to the paper's scheme for the topology.
+    seed:
+        RNG seed for reproducible intermediate selection.
+    intermediates:
+        Optional explicit override of the candidate intermediate set.
+    """
+
+    name = "INR"
+
+    def __init__(
+        self,
+        topology: Topology,
+        vc_policy: Optional[VCPolicy] = None,
+        seed: int = 0,
+        intermediates: Optional[Sequence[int]] = None,
+    ):
+        self.topology = topology
+        self.vc_policy = vc_policy if vc_policy is not None else default_vc_policy(topology)
+        self.paths = MinimalPaths(topology)
+        self._rng = random.Random(seed)
+        pool = list(intermediates) if intermediates is not None else topology.valiant_intermediates()
+        if len(pool) < 3:
+            raise ValueError(
+                f"{topology.name}: need at least 3 candidate intermediates, have {len(pool)}"
+            )
+        self._pool = pool
+
+    @property
+    def num_vcs(self) -> int:
+        return self.vc_policy.num_vcs(uses_indirect=True)
+
+    def pick_intermediate(self, src_router: int, dst_router: int) -> int:
+        """Uniformly random eligible intermediate, excluding src and dst."""
+        while True:
+            candidate = self._pool[self._rng.randrange(len(self._pool))]
+            if candidate != src_router and candidate != dst_router:
+                return candidate
+
+    def route_via(
+        self,
+        src_router: int,
+        intermediate: int,
+        dst_router: int,
+    ) -> Route:
+        """Build the indirect route through a *given* intermediate."""
+        first = self._pick_leg(src_router, intermediate)
+        second = self._pick_leg(intermediate, dst_router)
+        routers, inter_idx = compose_indirect(first, second)
+        vcs = self.vc_policy.assign(routers, inter_idx)
+        return Route(routers=routers, vcs=vcs, kind=ROUTE_INDIRECT, intermediate=inter_idx)
+
+    def route(
+        self,
+        src_router: int,
+        dst_router: int,
+        congestion: CongestionContext = NULL_CONGESTION,
+    ) -> Route:
+        if src_router == dst_router:
+            # Intra-router traffic never enters the fabric (the paper's
+            # X exchanges "stay within the first router" even under INR).
+            return Route(routers=(src_router,), vcs=(), kind=ROUTE_MINIMAL)
+        intermediate = self.pick_intermediate(src_router, dst_router)
+        return self.route_via(src_router, intermediate, dst_router)
+
+    def _pick_leg(self, a: int, b: int) -> Tuple[int, ...]:
+        candidates = self.paths.paths(a, b)
+        if len(candidates) == 1:
+            return candidates[0]
+        return candidates[self._rng.randrange(len(candidates))]

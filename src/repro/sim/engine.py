@@ -1,0 +1,77 @@
+"""Discrete-event simulation kernel.
+
+A minimal, fast event queue: events are ``(time, seq, fn, args)``
+tuples in a binary heap.  ``seq`` is a monotonically increasing
+tie-breaker that makes same-timestamp execution order deterministic
+(FIFO) and keeps tuple comparison away from unorderable callables.
+
+The hot loop avoids attribute lookups and allocation where possible --
+this kernel executes tens of millions of events per experiment, so it
+follows the optimisation guidance of keeping the per-event overhead
+minimal rather than elegant.
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+from typing import Any, Callable, Optional
+
+__all__ = ["Engine"]
+
+
+class Engine:
+    """Event queue with a simulated clock in nanoseconds."""
+
+    __slots__ = ("now", "_heap", "_seq", "events_executed")
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: list = []
+        self._seq: int = 0
+        self.events_executed: int = 0
+
+    def schedule(self, delay: float, fn: Callable, *args: Any) -> None:
+        """Run ``fn(*args)`` *delay* ns after the current time."""
+        self._seq += 1
+        heappush(self._heap, (self.now + delay, self._seq, fn, args))
+
+    def schedule_at(self, when: float, fn: Callable, *args: Any) -> None:
+        """Run ``fn(*args)`` at absolute time *when* (>= now)."""
+        self._seq += 1
+        heappush(self._heap, (when, self._seq, fn, args))
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
+        """Execute events in timestamp order.
+
+        Stops when the queue is empty, when the next event is later than
+        *until*, or after *max_events* events (a runaway guard).
+        Returns the number of events executed by this call.
+        """
+        heap = self._heap
+        executed = 0
+        if until is None and max_events is None:
+            while heap:
+                now, _, fn, args = heappop(heap)
+                self.now = now
+                fn(*args)
+                executed += 1
+        else:
+            limit = float("inf") if until is None else until
+            budget = float("inf") if max_events is None else max_events
+            while heap and executed < budget:
+                if heap[0][0] > limit:
+                    break
+                now, _, fn, args = heappop(heap)
+                self.now = now
+                fn(*args)
+                executed += 1
+            if until is not None and (not heap or heap[0][0] > limit):
+                # Advance the clock to the horizon even if the queue ran dry.
+                self.now = max(self.now, limit)
+        self.events_executed += executed
+        return executed
+
+    @property
+    def pending(self) -> int:
+        """Number of events still queued."""
+        return len(self._heap)

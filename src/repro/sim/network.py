@@ -1,0 +1,388 @@
+"""Network assembly and experiment drivers.
+
+:class:`Network` wires a :class:`~repro.topology.base.Topology` and a
+:class:`~repro.routing.base.RoutingAlgorithm` into a simulated system of
+switches and NICs, implements the UGAL-L congestion interface over live
+switch state, and offers the two measurement modes of the paper:
+
+- :meth:`Network.run_synthetic` -- rate-driven open-loop traffic with a
+  warm-up then a measurement window (Sec. 4.3),
+- :meth:`Network.run_exchange` -- a finite exchange simulated to
+  completion, reporting effective throughput (Sec. 4.4).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, Iterator, Optional, Tuple
+
+from repro.routing.base import RoutingAlgorithm
+from repro.sim.config import PAPER_CONFIG, SimConfig
+from repro.sim.engine import Engine
+from repro.sim.nic import NIC
+from repro.sim.packet import Packet
+from repro.sim.stats import StatsCollector, WindowStats
+from repro.sim.switch import OutputPort, Router
+from repro.topology.base import Topology
+
+__all__ = ["Network"]
+
+
+class Network:
+    """A simulated instance of (topology, routing, configuration)."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        routing: RoutingAlgorithm,
+        config: SimConfig = PAPER_CONFIG,
+    ):
+        self.topology = topology
+        self.routing = routing
+        self.config = config
+        self.engine = Engine()
+        self.num_vcs = routing.num_vcs
+        self.stats = StatsCollector(topology.num_nodes, config)
+        self._pid = 0
+        self._route_port_cache: Dict[Tuple[int, ...], Tuple[int, ...]] = {}
+        self.tracer = None  # optional PacketTracer (see enable_trace)
+        self._utilization_window: Optional[float] = None
+        self._msg_track: Optional[Dict] = None  # per-message tracking (exchanges)
+        self._experiment_ran = False  # one experiment per Network instance
+
+        vc_capacity = config.buffer_packets_per_vc(self.num_vcs)
+
+        # Build switches.
+        self.routers = []
+        for r in range(topology.num_routers):
+            deg = topology.degree(r)
+            p = topology.nodes_attached(r)
+            self.routers.append(Router(r, self, deg + p, self.num_vcs))
+
+        # Wire router-to-router channels and ejection ports.  Output
+        # queues get the same 100 KB/port/direction provisioning as the
+        # input buffers (the "input-output-buffered" architecture).
+        for r, router in enumerate(self.routers):
+            deg = topology.degree(r)
+            for out_idx, neighbor in enumerate(topology.neighbors(r)):
+                ds_router = self.routers[neighbor]
+                ds_in_idx = topology.port(neighbor, r)
+                router.out.append(
+                    OutputPort(
+                        out_idx, self.num_vcs, vc_capacity, vc_capacity, ds_router, ds_in_idx
+                    )
+                )
+            for local, node in enumerate(topology.nodes_of(r)):
+                router.out.append(
+                    OutputPort(
+                        deg + local, self.num_vcs, vc_capacity, 0, None, -1, eject_node=node
+                    )
+                )
+
+        # Upstream credit sinks for router inputs.
+        for r, router in enumerate(self.routers):
+            for out_idx, neighbor in enumerate(topology.neighbors(r)):
+                ds_router = self.routers[neighbor]
+                ds_in_idx = topology.port(neighbor, r)
+                ds_router.in_upstream[ds_in_idx] = router.make_credit_sink(out_idx)
+
+        # NICs (and their credit sinks at the injection inputs).
+        self.nics = []
+        for node in range(topology.num_nodes):
+            r = topology.router_of(node)
+            router = self.routers[r]
+            deg = topology.degree(r)
+            local = topology.nodes_of(r).index(node)
+            nic = NIC(node, self, router, deg + local)
+            router.in_upstream[deg + local] = nic
+            self.nics.append(nic)
+
+    # -- CongestionContext (UGAL-L's local signal) -----------------------------
+
+    def queue_len(self, router: int, neighbor: int) -> int:
+        """Packets queued at *router* for the output toward *neighbor*."""
+        port = self.topology.port(router, neighbor)
+        return self.routers[router].out[port].queued
+
+    def queue_capacity(self) -> int:
+        """Port buffer capacity in packets (threshold reference)."""
+        return self.config.buffer_packets_per_port
+
+    # -- packet construction -------------------------------------------------
+
+    def make_packet(
+        self,
+        src_node: int,
+        dst_node: int,
+        size: int,
+        msg_id: Optional[int],
+        gen_time: float,
+    ) -> Packet:
+        """Route and materialise one packet (called by the NIC at send time)."""
+        topo = self.topology
+        src_router = topo.router_of(src_node)
+        dst_router = topo.router_of(dst_node)
+        route = self.routing.route(src_router, dst_router, self)
+
+        routers = route.routers
+        hop_ports = self._route_port_cache.get(routers)
+        if hop_ports is None:
+            hop_ports = tuple(
+                topo.port(routers[i], routers[i + 1]) for i in range(len(routers) - 1)
+            )
+            self._route_port_cache[routers] = hop_ports
+        final = routers[-1]
+        eject_port = topo.degree(final) + topo.nodes_of(final).index(dst_node)
+
+        self._pid += 1
+        return Packet(
+            pid=self._pid,
+            src_node=src_node,
+            dst_node=dst_node,
+            size=size,
+            routers=routers,
+            ports=hop_ports + (eject_port,),
+            vcs=route.vcs,
+            kind=route.kind,
+            gen_time=gen_time,
+            msg_id=msg_id,
+        )
+
+    def _claim_experiment(self) -> None:
+        """Guard against reusing a Network across experiments.
+
+        Warmed-up buffers, advanced clocks and mixed statistics make a
+        second run silently wrong; build a fresh :class:`Network` per
+        experiment instead (topologies and configs are reusable).
+        """
+        if self._experiment_ran:
+            raise RuntimeError(
+                "this Network already ran an experiment; build a fresh "
+                "Network(topology, routing) for the next one"
+            )
+        self._experiment_ran = True
+
+    def reset_utilization(self) -> None:
+        """Zero the per-port transmission counters (called at warm-up end)."""
+        for router in self.routers:
+            for out in router.out:
+                out.sent_packets = 0
+
+    def channel_utilization(self, window_ns: Optional[float] = None) -> Dict:
+        """Link-utilization fractions measured since the last reset.
+
+        Returns ``{(u, v): fraction}`` for router-router channels and
+        ``{("eject", node): fraction}`` for ejection links.  With
+        fixed-size packets the busy time is exactly
+        ``sent_packets * serialization``.  ``window_ns`` defaults to the
+        last synthetic run's measurement window.
+        """
+        window = window_ns if window_ns is not None else self._utilization_window
+        if window is None or window <= 0:
+            raise ValueError("channel_utilization: no measurement window available")
+        ser = self.config.packet_time_ns
+        out_map: Dict = {}
+        topo = self.topology
+        for r, router in enumerate(self.routers):
+            neighbors = topo.neighbors(r)
+            for idx, out in enumerate(router.out):
+                key = (r, neighbors[idx]) if idx < len(neighbors) else ("eject", out.eject_node)
+                out_map[key] = out.sent_packets * ser / window
+        return out_map
+
+    def enable_trace(self, capacity: int = 10_000, start_ns: float = 0.0):
+        """Attach a :class:`repro.sim.trace.PacketTracer`; returns it."""
+        from repro.sim.trace import PacketTracer
+
+        self.tracer = PacketTracer(capacity=capacity, start_ns=start_ns)
+        return self.tracer
+
+    def deliver(self, pkt: Packet) -> None:
+        """Final hop: the packet reaches its destination node."""
+        pkt.eject_time = self.engine.now
+        self.stats.record_eject(pkt)
+        if self.tracer is not None:
+            self.tracer.record(pkt)
+        if self._msg_track is not None and pkt.msg_id is not None:
+            key = (pkt.src_node, pkt.msg_id)
+            entry = self._msg_track.get(key)
+            if entry is None:
+                self._msg_track[key] = [pkt.send_time, pkt.eject_time]
+            else:
+                if pkt.send_time < entry[0]:
+                    entry[0] = pkt.send_time
+                if pkt.eject_time > entry[1]:
+                    entry[1] = pkt.eject_time
+
+    # -- synthetic (rate-driven) experiments -----------------------------------
+
+    def run_synthetic(
+        self,
+        pattern,
+        load: float,
+        warmup_ns: float = 2_000.0,
+        measure_ns: float = 10_000.0,
+        arrival: str = "poisson",
+        seed: int = 0,
+        drain: bool = False,
+    ) -> WindowStats:
+        """Open-loop synthetic traffic experiment (paper Sec. 4.3).
+
+        Every node generates ``packet_bytes`` packets at fraction *load*
+        of the link rate with destinations drawn from *pattern*
+        (:meth:`pick_destination`), for ``warmup + measure`` ns;
+        statistics are computed over the measurement window.
+
+        Set ``drain=True`` to additionally run the network empty after
+        generation stops (used by conservation tests).
+        """
+        if not (0.0 < load <= 1.0):
+            raise ValueError(f"load {load} must be in (0, 1]")
+        if arrival not in ("poisson", "deterministic"):
+            raise ValueError(f"unknown arrival process {arrival!r}")
+        self._claim_experiment()
+        cfg = self.config
+        horizon = warmup_ns + measure_ns
+        mean_ia = cfg.packet_time_ns / load
+        self.stats.set_window(warmup_ns, horizon)
+
+        master = random.Random(seed)
+        for node in range(self.topology.num_nodes):
+            rng = random.Random(master.getrandbits(64))
+            phase = rng.uniform(0.0, mean_ia)
+            self.engine.schedule_at(
+                phase, self._generate, node, pattern, mean_ia, horizon, rng, arrival
+            )
+        # Utilization counters measure the post-warm-up window only.
+        self.engine.schedule_at(warmup_ns, self.reset_utilization)
+
+        self.engine.run(until=horizon)
+        self._utilization_window = measure_ns
+        if drain:
+            self.engine.run()
+        return self.stats.window_stats()
+
+    def _generate(
+        self,
+        node: int,
+        pattern,
+        mean_ia: float,
+        until: float,
+        rng: random.Random,
+        arrival: str,
+    ) -> None:
+        now = self.engine.now
+        if now >= until:
+            return
+        dst = pattern.pick_destination(node, rng)
+        if dst is not None:
+            if dst == node:
+                raise ValueError(f"pattern sent node {node} traffic to itself")
+            self.nics[node].submit(dst, self.config.packet_bytes)
+        delay = rng.expovariate(1.0 / mean_ia) if arrival == "poisson" else mean_ia
+        self.engine.schedule(delay, self._generate, node, pattern, mean_ia, until, rng, arrival)
+
+    # -- finite exchanges ----------------------------------------------------------
+
+    def run_exchange(
+        self,
+        exchange,
+        max_events: Optional[int] = None,
+        track_messages: bool = False,
+    ) -> Dict[str, float]:
+        """Simulate a finite exchange to completion (paper Sec. 4.4).
+
+        *exchange* provides ``node_messages(node) -> iterable of
+        (dst_node, size_bytes)`` message descriptors, packetised into
+        ``packet_bytes`` units.  If the exchange sets ``interleave =
+        True`` (e.g. the nearest-neighbour exchange, which models
+        concurrent non-blocking sends to all six neighbours) packets are
+        drawn round-robin across the node's messages; otherwise messages
+        are sent strictly in order.
+
+        Returns a dict with ``completion_ns``, ``effective_throughput``
+        (fraction of injection bandwidth per node), ``total_bytes`` and
+        packet counts.  With ``track_messages=True`` it also includes
+        per-message completion statistics under ``"messages"`` (count,
+        mean/max latency from first packet transmitted to last packet
+        delivered).
+        """
+        self._claim_experiment()
+        self.stats.set_window(0.0, None)
+        self._msg_track: Optional[Dict] = {} if track_messages else None
+        total_bytes = 0
+        expected_packets = 0
+        pkt_size = self.config.packet_bytes
+        interleave = bool(getattr(exchange, "interleave", False))
+        for node in range(self.topology.num_nodes):
+            messages = list(exchange.node_messages(node))
+            for dst, size in messages:
+                total_bytes += size
+                expected_packets += -(-size // pkt_size)
+            if messages:
+                source = (
+                    _packetize_interleaved(messages, pkt_size)
+                    if interleave
+                    else _packetize(messages, pkt_size)
+                )
+                self.nics[node].set_source(source)
+        if total_bytes == 0:
+            raise ValueError("exchange generated no traffic")
+
+        self.engine.run(max_events=max_events)
+        if self.stats.ejected_total != expected_packets:
+            raise RuntimeError(
+                f"exchange incomplete: {self.stats.ejected_total}/{expected_packets} "
+                f"packets delivered (possible deadlock or event-budget exhaustion)"
+            )
+        completion = self.stats.last_eject - self.stats.first_inject
+        result: Dict[str, object] = {
+            "completion_ns": completion,
+            "effective_throughput": self.stats.effective_throughput(total_bytes),
+            "total_bytes": float(total_bytes),
+            "packets": float(expected_packets),
+        }
+        if self._msg_track is not None:
+            latencies = sorted(
+                last_eject - first_send
+                for first_send, last_eject in self._msg_track.values()
+            )
+            count = len(latencies)
+            result["messages"] = {
+                "count": count,
+                "mean_latency_ns": sum(latencies) / count if count else 0.0,
+                "p50_latency_ns": latencies[count // 2] if count else 0.0,
+                "p99_latency_ns": latencies[min(count - 1, int(count * 0.99))]
+                if count
+                else 0.0,
+                "max_latency_ns": latencies[-1] if count else 0.0,
+            }
+            self._msg_track = None
+        return result
+
+
+def _packetize(
+    messages: Iterable[Tuple[int, int]], packet_bytes: int
+) -> Iterator[Tuple[int, int, Optional[int]]]:
+    """Split (dst, size) messages into packet descriptors, in order."""
+    for msg_id, (dst, size) in enumerate(messages):
+        remaining = size
+        while remaining > 0:
+            chunk = min(packet_bytes, remaining)
+            yield (dst, chunk, msg_id)
+            remaining -= chunk
+
+
+def _packetize_interleaved(
+    messages: Iterable[Tuple[int, int]], packet_bytes: int
+) -> Iterator[Tuple[int, int, Optional[int]]]:
+    """Round-robin packets across concurrent messages (non-blocking sends)."""
+    remaining = [(msg_id, dst, size) for msg_id, (dst, size) in enumerate(messages)]
+    while remaining:
+        nxt = []
+        for msg_id, dst, size in remaining:
+            chunk = min(packet_bytes, size)
+            yield (dst, chunk, msg_id)
+            if size > chunk:
+                nxt.append((msg_id, dst, size - chunk))
+        remaining = nxt

@@ -1,0 +1,94 @@
+"""Per-packet trace collection.
+
+An optional, bounded recorder of completed-packet summaries (route,
+kind, timestamps).  Kept out of the simulator hot path: the only cost
+when enabled is one append per *delivered* packet.  Useful for
+debugging routing decisions and for fine-grained latency analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.sim.packet import Packet
+
+__all__ = ["PacketRecord", "PacketTracer"]
+
+
+@dataclass(frozen=True)
+class PacketRecord:
+    """Summary of one delivered packet."""
+
+    pid: int
+    src_node: int
+    dst_node: int
+    kind: str
+    routers: Tuple[int, ...]
+    vcs: Tuple[int, ...]
+    gen_time: float
+    send_time: float
+    eject_time: float
+
+    @property
+    def latency_ns(self) -> float:
+        """Generation-to-ejection delay."""
+        return self.eject_time - self.gen_time
+
+    @property
+    def queueing_ns(self) -> float:
+        """Time spent waiting in the source NIC before transmission."""
+        return self.send_time - self.gen_time
+
+    @property
+    def num_hops(self) -> int:
+        return len(self.routers) - 1
+
+
+class PacketTracer:
+    """Bounded recorder of :class:`PacketRecord` entries.
+
+    Records the first *capacity* delivered packets (optionally only
+    those ejected at/after *start_ns*); further deliveries increment
+    :attr:`dropped` so the truncation is visible rather than silent.
+    """
+
+    def __init__(self, capacity: int = 10_000, start_ns: float = 0.0):
+        if capacity < 1:
+            raise ValueError(f"PacketTracer: capacity {capacity} must be >= 1")
+        self.capacity = capacity
+        self.start_ns = start_ns
+        self.records: List[PacketRecord] = []
+        self.dropped = 0
+
+    def record(self, pkt: Packet) -> None:
+        """Called by the network on delivery (when tracing is enabled)."""
+        if pkt.eject_time < self.start_ns:
+            return
+        if len(self.records) >= self.capacity:
+            self.dropped += 1
+            return
+        self.records.append(
+            PacketRecord(
+                pid=pkt.pid,
+                src_node=pkt.src_node,
+                dst_node=pkt.dst_node,
+                kind=pkt.kind,
+                routers=pkt.routers,
+                vcs=pkt.vcs,
+                gen_time=pkt.gen_time,
+                send_time=pkt.send_time,
+                eject_time=pkt.eject_time,
+            )
+        )
+
+    def latencies(self) -> List[float]:
+        """Latency of every recorded packet, in record order."""
+        return [r.latency_ns for r in self.records]
+
+    def by_kind(self) -> dict:
+        """Record counts per route kind."""
+        out: dict = {}
+        for r in self.records:
+            out[r.kind] = out.get(r.kind, 0) + 1
+        return out

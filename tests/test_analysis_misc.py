@@ -1,0 +1,118 @@
+"""Tests for cost, scalability and diversity analyses (Sec. 2.3, Fig. 3)."""
+
+import pytest
+
+from repro.analysis.cost import COST_TABLE, cost_metrics
+from repro.analysis.diversity import path_diversity_stats
+from repro.analysis.scalability import (
+    FAMILIES,
+    nodes_at_radix,
+    scalability_points,
+    scalability_table,
+)
+from repro.topology import MLFM, OFT, SlimFly
+
+
+class TestCostMetrics:
+    def test_mlfm_exact(self, mlfm4):
+        m = cost_metrics(mlfm4, with_diameter=True)
+        assert m.ports_per_node == pytest.approx(3.0)
+        assert m.links_per_node == pytest.approx(2.0)
+        assert m.diameter == 2
+        assert m.max_radix == 2 * mlfm4.h
+
+    def test_cost_table_families(self):
+        assert set(COST_TABLE) == {
+            "2D HyperX", "Slim Fly", "2-lvl Fat-Tree", "3-lvl Fat-Tree", "MLFM", "OFT",
+        }
+        assert COST_TABLE["3-lvl Fat-Tree"]["ports_per_node"] == 5
+
+
+class TestScalability:
+    def test_points_monotone_radix(self):
+        for family in FAMILIES:
+            pts = scalability_points(family, 64)
+            radii = [r for r, _ in pts]
+            assert radii == sorted(radii)
+            assert all(r <= 64 for r in radii)
+
+    def test_paper_radix64_numbers(self):
+        # Sec. 2.3.1: with radix-64 routers OFT ~63.5K, MLFM and SF ~33-36K.
+        table = scalability_table(64)
+        assert table["OFT"] == 63552
+        assert 30_000 <= table["MLFM"] <= 37_000
+        assert 30_000 <= table["SF"] <= 37_000
+
+    def test_oft_twice_mlfm(self):
+        # The paper's headline: OFT scales to ~2x the MLFM.
+        table = scalability_table(64)
+        assert table["OFT"] / table["MLFM"] == pytest.approx(2.0, rel=0.12)
+
+    def test_ft2_smallest(self):
+        table = scalability_table(64)
+        assert table["FT2"] < min(table["SF"], table["MLFM"], table["OFT"])
+
+    def test_points_match_constructions(self):
+        for r, n in scalability_points("MLFM", 20):
+            h = r // 2
+            assert MLFM(h).num_nodes == n
+        for r, n in scalability_points("OFT", 16):
+            k = r // 2
+            assert OFT(k).num_nodes == n
+
+    def test_sf_points_match_construction(self):
+        for r, n in scalability_points("SF", 24):
+            # Recover q from the point by matching constructions.
+            matched = False
+            for q in (4, 5, 7, 8, 9, 11, 13):
+                sf = SlimFly(q, "floor")
+                if sf.max_radix() == r and sf.num_nodes == n:
+                    matched = True
+                    break
+            assert matched, (r, n)
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValueError):
+            scalability_points("torus", 64)
+
+    def test_nodes_at_radix_requires_feasible(self):
+        with pytest.raises(ValueError):
+            nodes_at_radix("OFT", 4)
+
+
+class TestDiversity:
+    def test_sf_adjacent_pairs_single_path(self, sf5):
+        st = path_diversity_stats(sf5)
+        # q = 5 is Hoffman-Singleton: girth 5, so even distance-2 pairs
+        # have a unique common neighbor.
+        assert st.mean == 1.0 and st.max == 1
+
+    def test_sf9_sparse_diversity(self, sf9):
+        st = path_diversity_stats(sf9)
+        # Paper (q=23): average ~1.1 over distance-2 pairs, low overall.
+        assert st.mean_distance2 is not None
+        assert 1.0 <= st.mean_distance2 <= 1.4
+        assert st.max_distance2 >= 2
+
+    def test_mlfm_histogram(self, mlfm4):
+        st = path_diversity_stats(mlfm4)
+        h = mlfm4.h
+        n_lr = mlfm4.num_local_routers
+        same_column_pairs = (h + 1) * h * (h - 1)  # ordered, l=h layers
+        assert st.histogram[h] == same_column_pairs
+        assert st.histogram[1] == n_lr * (n_lr - 1) - same_column_pairs
+
+    def test_oft_histogram(self, oft4):
+        st = path_diversity_stats(oft4)
+        k = oft4.k
+        assert st.histogram[k] == 2 * oft4.rl  # ordered symmetric pairs
+        assert st.max == k
+
+    def test_explicit_pairs(self, mlfm4):
+        h = mlfm4.h
+        st = path_diversity_stats(mlfm4, pairs=[(0, h + 1)])
+        assert st.num_pairs == 1 and st.mean == h
+
+    def test_empty_pairs_rejected(self, mlfm4):
+        with pytest.raises(ValueError):
+            path_diversity_stats(mlfm4, pairs=[])

@@ -1,0 +1,127 @@
+"""Simulator fuzzing over random topologies.
+
+The paper's topologies are highly structured; these tests feed the
+simulator random regular and irregular graphs (with VC budgets sized to
+the measured diameter) and check the universal invariants:
+conservation, latency floors, throughput ceilings, and the
+static-analysis/simulation agreement.
+"""
+
+import random
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.linkload import channel_loads_minimal, saturation_throughput, uniform_flows
+from repro.routing import MinimalRouting
+from repro.routing.vc import HopIndexVC
+from repro.sim import Network, PAPER_CONFIG
+from repro.topology.base import Topology
+from repro.traffic import UniformRandom
+
+
+def random_regular_topology(degree: int, num_routers: int, p: int, seed: int) -> Topology:
+    """Connected random regular graph with *p* nodes per router."""
+    rng_seed = seed
+    for _ in range(20):
+        g = nx.random_regular_graph(degree, num_routers, seed=rng_seed)
+        if nx.is_connected(g):
+            adjacency = [sorted(g.neighbors(r)) for r in range(num_routers)]
+            return Topology(
+                f"rr(d={degree},R={num_routers})", adjacency, [p] * num_routers
+            )
+        rng_seed += 1
+    pytest.skip("no connected random regular graph found")
+
+
+def random_irregular_topology(num_routers: int, extra_edges: int, p: int, seed: int) -> Topology:
+    """Random spanning tree plus chords; node counts vary per router."""
+    rng = random.Random(seed)
+    adjacency = [set() for _ in range(num_routers)]
+    nodes = list(range(num_routers))
+    rng.shuffle(nodes)
+    for i in range(1, num_routers):
+        a = nodes[i]
+        b = nodes[rng.randrange(i)]
+        adjacency[a].add(b)
+        adjacency[b].add(a)
+    for _ in range(extra_edges):
+        a, b = rng.randrange(num_routers), rng.randrange(num_routers)
+        if a != b:
+            adjacency[a].add(b)
+            adjacency[b].add(a)
+    counts = [rng.randrange(p + 1) for _ in range(num_routers)]
+    if sum(counts) < 2:
+        counts[0] = counts[1] = 1
+    return Topology(
+        f"irr(R={num_routers})", [sorted(s) for s in adjacency], counts
+    )
+
+
+def vc_policy_for(topo: Topology) -> HopIndexVC:
+    d = topo.endpoint_diameter()
+    return HopIndexVC(minimal_vcs=max(2, d), indirect_vcs=max(4, 2 * d))
+
+
+@given(
+    st.sampled_from([3, 4, 5]),
+    st.sampled_from([10, 14, 20]),
+    st.integers(1, 3),
+    st.integers(0, 10_000),
+)
+@settings(max_examples=12, deadline=None)
+def test_fuzz_regular_conservation(degree, num_routers, p, seed):
+    if degree * num_routers % 2:  # regular graph needs even degree sum
+        num_routers += 1
+    topo = random_regular_topology(degree, num_routers, p, seed)
+    net = Network(topo, MinimalRouting(topo, vc_policy=vc_policy_for(topo), seed=seed))
+    stats = net.run_synthetic(
+        UniformRandom(topo.num_nodes), load=0.4,
+        warmup_ns=500, measure_ns=1500, seed=seed, drain=True,
+    )
+    assert net.stats.injected_total == net.stats.ejected_total
+    assert stats.throughput <= 1.0
+    if stats.mean_latency_ns is not None:
+        assert stats.mean_latency_ns >= PAPER_CONFIG.zero_load_latency_ns(0) * 0.99
+
+
+@given(st.sampled_from([8, 12, 16]), st.integers(0, 10_000))
+@settings(max_examples=10, deadline=None)
+def test_fuzz_irregular_conservation(num_routers, seed):
+    topo = random_irregular_topology(num_routers, extra_edges=num_routers, p=2, seed=seed)
+    net = Network(topo, MinimalRouting(topo, vc_policy=vc_policy_for(topo), seed=seed))
+    net.run_synthetic(
+        UniformRandom(topo.num_nodes), load=0.3,
+        warmup_ns=500, measure_ns=1500, seed=seed, drain=True,
+    )
+    assert net.stats.injected_total == net.stats.ejected_total
+
+
+@given(st.integers(0, 10_000))
+@settings(max_examples=6, deadline=None)
+def test_fuzz_utilization_physical_bounds(seed):
+    """No simulated link ever exceeds its capacity, and when the static
+    analysis predicts a bottleneck, that bottleneck link indeed runs
+    hot under full offered load.
+
+    (Note the aggregate throughput may legitimately exceed the uniform
+    saturation bound 1/max-load on irregular graphs: only flows
+    crossing the bottleneck throttle.)
+    """
+    topo = random_regular_topology(4, 14, 2, seed)
+    loads = channel_loads_minimal(topo, uniform_flows(topo))
+    bound = saturation_throughput(loads)
+    net = Network(topo, MinimalRouting(topo, vc_policy=vc_policy_for(topo), seed=seed))
+    net.run_synthetic(
+        UniformRandom(topo.num_nodes), load=1.0,
+        warmup_ns=1000, measure_ns=3000, seed=seed,
+    )
+    util = net.channel_utilization()
+    # Allow one packet of window-edge quantization (a transmission
+    # starting just inside the window counts fully).
+    slack = PAPER_CONFIG.packet_time_ns / 3000
+    assert all(v <= 1.0 + slack + 1e-9 for v in util.values())
+    if bound < 0.85:  # a real structural bottleneck exists
+        router_links = {k: v for k, v in util.items() if k[0] != "eject"}
+        assert max(router_links.values()) > 0.75

@@ -1,0 +1,191 @@
+"""Unit and property tests for repro.maths.galois (GF(p^n) arithmetic)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.maths.galois import GaloisField, get_field
+
+FIELD_ORDERS = [2, 3, 4, 5, 7, 8, 9, 11, 13, 16, 25, 27]
+
+
+@pytest.fixture(scope="module", params=FIELD_ORDERS)
+def field(request):
+    return get_field(request.param)
+
+
+class TestConstruction:
+    def test_rejects_non_prime_power(self):
+        for q in (1, 6, 10, 12, 15):
+            with pytest.raises(ValueError):
+                GaloisField(q)
+
+    def test_prime_field_attributes(self):
+        f = GaloisField(13)
+        assert (f.q, f.p, f.n) == (13, 13, 1)
+
+    def test_extension_field_attributes(self):
+        f = GaloisField(9)
+        assert (f.q, f.p, f.n) == (9, 3, 2)
+        f = GaloisField(8)
+        assert (f.q, f.p, f.n) == (8, 2, 3)
+
+    def test_elements_enumeration(self, field):
+        assert list(field.elements()) == list(range(field.q))
+
+
+class TestFieldAxioms:
+    """Exhaustive verification of the field axioms on every small field."""
+
+    def test_additive_identity(self, field):
+        for a in field.elements():
+            assert field.add(a, 0) == a
+
+    def test_additive_inverse(self, field):
+        for a in field.elements():
+            assert field.add(a, field.neg(a)) == 0
+
+    def test_addition_commutes(self, field):
+        q = field.q
+        for a in range(q):
+            for b in range(a, q):
+                assert field.add(a, b) == field.add(b, a)
+
+    def test_multiplicative_identity(self, field):
+        for a in field.elements():
+            assert field.mul(a, 1) == a
+
+    def test_multiplication_commutes(self, field):
+        q = field.q
+        for a in range(q):
+            for b in range(a, q):
+                assert field.mul(a, b) == field.mul(b, a)
+
+    def test_multiplicative_inverse(self, field):
+        for a in range(1, field.q):
+            assert field.mul(a, field.inv(a)) == 1
+
+    def test_zero_has_no_inverse(self, field):
+        with pytest.raises(ZeroDivisionError):
+            field.inv(0)
+
+    def test_distributivity(self, field):
+        # Sampled triples (full cube is q^3; keep it cheap but broad).
+        q = field.q
+        step = max(1, q // 5)
+        for a in range(0, q, step):
+            for b in range(0, q, step):
+                for c in range(0, q, step):
+                    left = field.mul(a, field.add(b, c))
+                    right = field.add(field.mul(a, b), field.mul(a, c))
+                    assert left == right
+
+    def test_associativity_of_multiplication(self, field):
+        q = field.q
+        step = max(1, q // 5)
+        for a in range(0, q, step):
+            for b in range(0, q, step):
+                for c in range(0, q, step):
+                    assert field.mul(field.mul(a, b), c) == field.mul(a, field.mul(b, c))
+
+    def test_no_zero_divisors(self, field):
+        for a in range(1, field.q):
+            for b in range(1, field.q):
+                assert field.mul(a, b) != 0
+
+
+class TestPrimitiveElement:
+    def test_generates_multiplicative_group(self, field):
+        xi = field.primitive_element
+        seen = set()
+        acc = 1
+        for _ in range(field.q - 1):
+            seen.add(acc)
+            acc = field.mul(acc, xi)
+        assert seen == set(range(1, field.q))
+        assert acc == 1  # order exactly q-1
+
+    def test_element_order_divides_group_order(self, field):
+        for a in range(1, field.q):
+            order = field.element_order(a)
+            assert (field.q - 1) % order == 0
+            assert field.pow(a, order) == 1
+
+    def test_primitive_has_full_order(self, field):
+        assert field.element_order(field.primitive_element) == field.q - 1
+
+
+class TestArithmeticOps:
+    def test_sub_is_add_neg(self, field):
+        q = field.q
+        for a in range(0, q, max(1, q // 7)):
+            for b in range(q):
+                assert field.sub(a, b) == field.add(a, field.neg(b))
+
+    def test_div(self, field):
+        for a in range(field.q):
+            for b in range(1, field.q):
+                assert field.mul(field.div(a, b), b) == a
+
+    def test_pow_zero(self, field):
+        for a in field.elements():
+            assert field.pow(a, 0) == 1 if a != 0 else field.pow(a, 0) == 1
+
+    def test_pow_matches_repeated_mul(self, field):
+        for a in range(1, field.q):
+            acc = 1
+            for e in range(5):
+                assert field.pow(a, e) == acc
+                acc = field.mul(acc, a)
+
+    def test_pow_negative_exponent(self, field):
+        for a in range(1, field.q):
+            assert field.mul(field.pow(a, -1), a) == 1
+
+    def test_pow_zero_base_negative_exponent(self, field):
+        with pytest.raises(ZeroDivisionError):
+            field.pow(0, -1)
+
+    def test_range_checks(self, field):
+        with pytest.raises(ValueError):
+            field.add(0, field.q)
+        with pytest.raises(ValueError):
+            field.mul(-1, 0)
+
+
+class TestCoefficients:
+    def test_roundtrip(self, field):
+        for a in field.elements():
+            assert field.element_from_coefficients(field.coefficients(a)) == a
+
+    def test_bad_vector_rejected(self):
+        f = GaloisField(9)
+        with pytest.raises(ValueError):
+            f.element_from_coefficients((3, 0))  # digit out of range
+        with pytest.raises(ValueError):
+            f.element_from_coefficients((0,))  # wrong length
+
+    def test_addition_is_coefficientwise(self):
+        f = GaloisField(27)
+        for a in range(0, 27, 5):
+            for b in range(0, 27, 7):
+                ca, cb = f.coefficients(a), f.coefficients(b)
+                expected = tuple((x + y) % 3 for x, y in zip(ca, cb))
+                assert f.coefficients(f.add(a, b)) == expected
+
+
+class TestGetField:
+    def test_memoised(self):
+        assert get_field(13) is get_field(13)
+
+
+@given(st.sampled_from(FIELD_ORDERS), st.data())
+@settings(max_examples=60, deadline=None)
+def test_random_triples_satisfy_field_laws(q, data):
+    f = get_field(q)
+    a = data.draw(st.integers(0, q - 1))
+    b = data.draw(st.integers(0, q - 1))
+    c = data.draw(st.integers(0, q - 1))
+    assert f.add(f.add(a, b), c) == f.add(a, f.add(b, c))
+    assert f.mul(a, f.add(b, c)) == f.add(f.mul(a, b), f.mul(a, c))
+    if b != 0:
+        assert f.mul(f.div(a, b), b) == a

@@ -1,0 +1,118 @@
+"""Deeper finite-field tests: known tables, field morphisms, subfields."""
+
+import pytest
+
+from repro.maths.galois import GaloisField, get_field
+
+
+class TestGF4KnownStructure:
+    """GF(4) = {0, 1, x, x+1} with x^2 = x + 1 (the canonical table)."""
+
+    @pytest.fixture(scope="class")
+    def f4(self):
+        return get_field(4)
+
+    def test_addition_is_xor(self, f4):
+        # In characteristic 2 with the bit encoding, + is XOR.
+        for a in range(4):
+            for b in range(4):
+                assert f4.add(a, b) == a ^ b
+
+    def test_every_element_self_inverse_additively(self, f4):
+        for a in range(4):
+            assert f4.add(a, a) == 0
+
+    def test_multiplicative_group_cyclic_of_order_3(self, f4):
+        xi = f4.primitive_element
+        assert f4.element_order(xi) == 3
+        powers = {f4.pow(xi, e) for e in range(3)}
+        assert powers == {1, 2, 3}
+
+
+class TestGF8GF9:
+    def test_gf8_addition_is_xor(self):
+        f = get_field(8)
+        for a in range(8):
+            for b in range(8):
+                assert f.add(a, b) == a ^ b
+
+    def test_gf9_addition_is_base3_digitwise(self):
+        f = get_field(9)
+        for a in range(9):
+            for b in range(9):
+                expected = (((a % 3) + (b % 3)) % 3) + 3 * (((a // 3) + (b // 3)) % 3)
+                assert f.add(a, b) == expected
+
+    def test_gf9_has_char_3(self):
+        f = get_field(9)
+        for a in range(9):
+            assert f.add(f.add(a, a), a) == 0  # 3a = 0
+
+
+class TestFrobenius:
+    """The Frobenius map a -> a^p is a field automorphism of GF(p^n)."""
+
+    @pytest.mark.parametrize("q,p", [(4, 2), (8, 2), (9, 3), (27, 3), (25, 5)])
+    def test_freshman_dream(self, q, p):
+        f = get_field(q)
+        for a in range(q):
+            for b in range(0, q, max(1, q // 6)):
+                assert f.pow(f.add(a, b), p) == f.add(f.pow(a, p), f.pow(b, p))
+
+    @pytest.mark.parametrize("q,p", [(4, 2), (9, 3), (25, 5)])
+    def test_frobenius_fixes_prime_subfield(self, q, p):
+        f = get_field(q)
+        # The prime subfield is {0, 1, 1+1, ...}.
+        element = 0
+        for _ in range(p):
+            assert f.pow(element, p) == element
+            element = f.add(element, 1)
+
+    @pytest.mark.parametrize("q,p,n", [(4, 2, 2), (8, 2, 3), (9, 3, 2), (27, 3, 3)])
+    def test_frobenius_order_n(self, q, p, n):
+        # Applying Frobenius n times is the identity on GF(p^n).
+        f = get_field(q)
+        for a in range(q):
+            x = a
+            for _ in range(n):
+                x = f.pow(x, p)
+            assert x == a
+
+
+class TestFermatAndRoots:
+    @pytest.mark.parametrize("q", [5, 7, 9, 13, 16])
+    def test_fermat_euler(self, q):
+        f = get_field(q)
+        for a in range(1, q):
+            assert f.pow(a, q - 1) == 1
+
+    @pytest.mark.parametrize("q", [5, 9, 13])
+    def test_square_roots_counted(self, q):
+        # In odd characteristic exactly (q-1)/2 nonzero elements are
+        # squares, each with exactly two square roots.
+        f = get_field(q)
+        squares = {}
+        for a in range(1, q):
+            squares.setdefault(f.mul(a, a), []).append(a)
+        assert len(squares) == (q - 1) // 2
+        assert all(len(roots) == 2 for roots in squares.values())
+
+    def test_char2_every_element_is_a_square(self):
+        f = get_field(16)
+        squares = {f.mul(a, a) for a in range(16)}
+        assert squares == set(range(16))
+
+
+class TestLargerFields:
+    def test_gf49_and_gf64_valid(self):
+        for q in (49, 64):
+            f = GaloisField(q)
+            assert f.mul(f.primitive_element, f.inv(f.primitive_element)) == 1
+            assert f.element_order(f.primitive_element) == q - 1
+
+    def test_gf81(self):
+        f = GaloisField(81)
+        assert (f.p, f.n) == (3, 4)
+        # Spot-check distributivity on a few triples.
+        for a, b, c in ((5, 17, 44), (80, 1, 2), (27, 9, 3)):
+            assert f.mul(a, f.add(b, c)) == f.add(f.mul(a, b), f.mul(a, c))

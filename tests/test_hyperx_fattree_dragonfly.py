@@ -1,0 +1,141 @@
+"""Tests for the comparison topologies: 2D HyperX, Fat-Trees, Dragonfly."""
+
+import pytest
+
+from repro.topology import Dragonfly, FatTree2L, FatTree3L, HyperX2D
+from repro.topology.validate import validate_topology
+
+
+class TestHyperX:
+    def test_balanced_from_radix(self):
+        t = HyperX2D.balanced(9)
+        assert t.s1 == t.s2 == 4 and t.p == 3
+        assert t.num_nodes == HyperX2D.expected_num_nodes(9) == 48
+
+    def test_balanced_rejects_bad_radix(self):
+        with pytest.raises(ValueError):
+            HyperX2D.balanced(10)
+
+    def test_rejects_tiny_dims(self):
+        with pytest.raises(ValueError):
+            HyperX2D(1, 4)
+
+    def test_diameter_two(self, hyperx):
+        assert hyperx.diameter() == 2
+
+    def test_rectangular(self):
+        t = HyperX2D(3, 5, p=2)
+        assert t.num_routers == 15
+        assert t.degree(0) == (3 - 1) + (5 - 1)
+
+    def test_row_column_connectivity(self, hyperx):
+        for r in range(hyperx.num_routers):
+            i, j = hyperx.coords(r)
+            for n in hyperx.neighbors(r):
+                ni, nj = hyperx.coords(n)
+                assert (ni == i) != (nj == j), "neighbors share exactly one coordinate"
+
+    def test_validates(self, hyperx):
+        report = validate_topology(hyperx)
+        assert report.ok, report.problems
+
+    def test_valiant_intermediates_all(self, hyperx):
+        assert hyperx.valiant_intermediates() == list(range(hyperx.num_routers))
+
+    def test_expected_nodes_rejects_bad_radix(self):
+        with pytest.raises(ValueError):
+            HyperX2D.expected_num_nodes(10)
+
+
+class TestFatTree2L:
+    def test_counts(self):
+        t = FatTree2L(8)
+        assert t.num_nodes == FatTree2L.expected_num_nodes(8) == 32
+        assert t.num_routers == 12  # r + r/2
+        assert {t.radix(r) for r in range(t.num_routers)} == {8}
+
+    def test_rejects_odd_radix(self):
+        with pytest.raises(ValueError):
+            FatTree2L(7)
+
+    def test_complete_bipartite(self, ft2):
+        for leaf in range(ft2.num_l1):
+            assert set(ft2.neighbors(leaf)) == set(range(ft2.num_l1, ft2.num_routers))
+
+    def test_validates(self, ft2):
+        report = validate_topology(ft2)
+        assert report.ok, report.problems
+
+    def test_link_classes(self, ft2):
+        from repro.topology.base import LINK_DOWN, LINK_UP
+
+        spine = ft2.num_l1
+        assert ft2.link_class(0, spine) == LINK_UP
+        assert ft2.link_class(spine, 0) == LINK_DOWN
+
+
+class TestFatTree3L:
+    def test_counts(self):
+        t = FatTree3L(4)
+        assert t.num_nodes == FatTree3L.expected_num_nodes(4) == 16
+        # 5r^2/4 routers.
+        assert t.num_routers == 20
+        assert {t.radix(r) for r in range(t.num_routers)} == {4}
+
+    def test_cost_5_ports_3_links(self):
+        t = FatTree3L(8)
+        assert t.ports_per_node() == pytest.approx(5.0)
+        assert t.links_per_node() == pytest.approx(3.0)
+
+    def test_diameter_four(self, ft3):
+        assert ft3.endpoint_diameter() == 4
+
+    def test_rejects_odd_radix(self):
+        with pytest.raises(ValueError):
+            FatTree3L(5)
+
+    def test_levels(self, ft3):
+        assert ft3.level(0) == 0
+        assert ft3.level(ft3.num_edge) == 1
+        assert ft3.level(ft3.num_edge + ft3.num_agg) == 2
+
+    def test_validates_with_relaxed_cost(self, ft3):
+        report = validate_topology(
+            ft3, expect_diameter=4, max_ports_per_node=5.1, max_links_per_node=3.1
+        )
+        assert report.ok, report.problems
+
+
+class TestDragonfly:
+    def test_counts(self, dragonfly):
+        # p=2, a=4, h=2: g = 9 groups of 4 routers.
+        assert dragonfly.g == 9
+        assert dragonfly.num_routers == 36
+        assert dragonfly.num_nodes == 72
+
+    def test_diameter_three(self, dragonfly):
+        assert dragonfly.diameter() == 3
+
+    def test_every_group_pair_connected(self, dragonfly):
+        seen = set()
+        for u, v in dragonfly.edges():
+            gu, gv = dragonfly.group_of(u), dragonfly.group_of(v)
+            if gu != gv:
+                seen.add((min(gu, gv), max(gu, gv)))
+        g = dragonfly.g
+        assert len(seen) == g * (g - 1) // 2
+
+    def test_intra_group_full_mesh(self, dragonfly):
+        a = dragonfly.a
+        for r in range(a):  # group 0
+            peers = {n for n in dragonfly.neighbors(r) if dragonfly.group_of(n) == 0}
+            assert peers == set(range(a)) - {r}
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            Dragonfly(0)
+        with pytest.raises(ValueError):
+            Dragonfly(2, a=0)
+
+    def test_coords(self, dragonfly):
+        assert dragonfly.coords(5) == (1, 1)

@@ -1,0 +1,95 @@
+"""Sanity tests at (near-)paper and radix-64 scales.
+
+Construction-only (no simulation): verifies that the radix-64
+configurations headlined in Sec. 2.3.1 actually build, have the claimed
+sizes, and keep the diameter-2 property.  BFS-based diameter checks are
+cheap even at these sizes.
+"""
+
+import pytest
+
+from repro.topology import MLFM, OFT, SlimFly
+from repro.topology.validate import validate_topology
+
+
+class TestPaperScaleBuilds:
+    def test_sf_q13(self):
+        for mode, n in (("floor", 3042), ("ceil", 3380)):
+            sf = SlimFly(13, mode)
+            assert sf.num_nodes == n
+            assert sf.endpoint_diameter() == 2
+
+    def test_mlfm_h15(self):
+        t = MLFM(15)
+        assert t.num_nodes == 3600
+        assert t.endpoint_diameter() == 2
+
+    def test_oft_k12(self):
+        t = OFT(12)
+        assert t.num_nodes == 3192
+        assert t.endpoint_diameter() == 2
+
+
+class TestRadix64Builds:
+    """The configurations behind Sec. 2.3.1's 33K-64K claims."""
+
+    def test_oft_k32(self):
+        # radix 64; k-1 = 31 prime.
+        t = OFT(32)
+        assert t.max_radix() == 64
+        assert t.num_nodes == 63_552
+        assert t.endpoint_diameter() == 2
+
+    def test_mlfm_h32(self):
+        t = MLFM(32)
+        assert t.max_radix() == 64
+        assert t.num_nodes == 33_792
+        assert t.endpoint_diameter() == 2
+
+    def test_sf_q17(self):
+        # q=17 (delta=+1): r' = 25, p = floor(25/2) = 12; N = 6936.
+        t = SlimFly(17)
+        assert (t.network_radix, t.p) == (25, 12)
+        assert t.num_nodes == 2 * 17 * 17 * 12
+        assert t.endpoint_diameter() == 2
+
+    @pytest.mark.parametrize("q", [16, 19, 23, 25])
+    def test_sf_larger_prime_powers(self, q):
+        t = SlimFly(q)
+        assert t.num_routers == 2 * q * q
+        assert t.endpoint_diameter() == 2
+
+    def test_sf_q23_paper_diversity_numbers(self):
+        # Sec. 2.3.3: for q = 23 the average diversity over
+        # non-adjacent router pairs is ~1.1 with maximum 8.
+        from repro.routing.paths import MinimalPaths
+
+        t = SlimFly(23)
+        mp = MinimalPaths(t)
+        total = 0
+        count = 0
+        worst = 0
+        # Sampled single-source sweep: exact for source router 0.
+        for src in range(0, t.num_routers, 41):
+            for dst in range(t.num_routers):
+                if dst == src or t.is_edge(src, dst):
+                    continue
+                d = mp.diversity(src, dst)
+                total += d
+                count += 1
+                worst = max(worst, d)
+        mean = total / count
+        assert 1.0 <= mean <= 1.25, mean
+        assert worst <= 8
+
+
+class TestCostAtScale:
+    def test_costs_stay_at_3_and_2(self):
+        for topo in (MLFM(32), OFT(32)):
+            assert topo.ports_per_node() == pytest.approx(3.0)
+            assert topo.links_per_node() == pytest.approx(2.0)
+
+    def test_sf_cost_approaches_3_and_2(self):
+        t = SlimFly(25, "ceil")
+        assert t.ports_per_node() == pytest.approx(3.0, abs=0.12)
+        assert t.links_per_node() == pytest.approx(2.0, abs=0.08)

@@ -1,0 +1,117 @@
+"""Coverage for remaining edge paths: validation options, engine limit
+combinations, route dataclass details, config derivations."""
+
+import pytest
+
+from repro.routing.base import NullCongestion, Route
+from repro.sim.engine import Engine
+from repro.topology import SSPT, MLFM, SlimFly
+from repro.topology.base import Topology
+from repro.topology.validate import validate_topology
+
+
+class TestValidationOptions:
+    def test_nonuniform_radix_flagged(self):
+        t = Topology("path", [[1], [0, 2], [1]], [1, 1, 1])
+        report = validate_topology(t, expect_diameter=2, max_links_per_node=10,
+                                   max_ports_per_node=10)
+        assert any("non-uniform radix" in p for p in report.problems)
+
+    def test_nonuniform_radix_allowed_when_disabled(self):
+        t = Topology("path", [[1], [0, 2], [1]], [1, 1, 1])
+        report = validate_topology(
+            t, expect_diameter=2, expect_uniform_radix=False,
+            max_links_per_node=10, max_ports_per_node=10,
+        )
+        assert report.ok, report.problems
+
+    def test_cost_violations_flagged(self):
+        # A single link and lots of ports per node: cost checks trip.
+        t = Topology("star", [[1, 2, 3], [0], [0], [0]], [0, 1, 1, 1])
+        report = validate_topology(t, expect_diameter=2)
+        assert not report.ok
+
+    def test_no_nodes_flagged(self):
+        t = Topology("empty", [[1], [0]], [0, 0])
+        report = validate_topology(t, check_diameter=False)
+        assert any("no end-nodes" in p for p in report.problems)
+
+    def test_skip_diameter(self):
+        t = MLFM(3)
+        report = validate_topology(t, check_diameter=False)
+        assert report.diameter is None and report.ok
+
+    def test_report_str(self):
+        report = validate_topology(MLFM(3))
+        assert "OK" in str(report)
+
+    def test_isolated_router_flagged(self):
+        t = Topology("iso", [[1], [0], []], [1, 1, 0])
+        report = validate_topology(t, check_diameter=False,
+                                   expect_uniform_radix=False)
+        assert any("isolated" in p for p in report.problems)
+
+
+class TestEngineLimitCombos:
+    def test_until_and_max_events_together(self):
+        e = Engine()
+        log = []
+        for i in range(10):
+            e.schedule(float(i), log.append, i)
+        e.run(until=6.5, max_events=3)
+        assert log == [0, 1, 2]
+        e.run(until=6.5)
+        assert log == [0, 1, 2, 3, 4, 5, 6]
+        assert e.pending == 3
+
+    def test_run_on_empty_queue_advances_to_until(self):
+        e = Engine()
+        e.run(until=100.0)
+        assert e.now == 100.0
+
+    def test_clock_never_goes_backwards(self):
+        e = Engine()
+        e.schedule(50.0, lambda: None)
+        e.run(until=100.0)
+        before = e.now
+        e.run(until=10.0)  # lower horizon: nothing to do, clock stays
+        assert e.now >= before
+
+
+class TestRouteDetails:
+    def test_zero_hop_route(self):
+        r = Route(routers=(3,), vcs=())
+        assert r.num_hops == 0 and r.channels() == ()
+
+    def test_null_congestion_defaults(self):
+        ctx = NullCongestion()
+        assert ctx.queue_len(0, 1) == 0
+        assert ctx.queue_capacity() == 1
+
+
+class TestTopologyMiscPaths:
+    def test_sspt_custom_p(self):
+        s = SSPT(4, 2, p=1)
+        assert s.num_nodes == s.num_bottom
+
+    def test_slimfly_repr(self):
+        assert "SF(q=5" in repr(SlimFly(5))
+
+    def test_expected_helpers(self):
+        assert SlimFly.expected_num_routers(5) == 50
+        assert SlimFly.expected_network_radix(5) == 7
+
+    def test_max_radix_nonuniform(self):
+        t = Topology("mix", [[1], [0, 2], [1]], [3, 0, 1])
+        assert t.max_radix() == 4  # router 0: 1 link + 3 nodes
+
+
+class TestWindowStatsRepr:
+    def test_repr_contains_throughput(self):
+        from repro.sim.config import PAPER_CONFIG
+        from repro.sim.stats import StatsCollector
+
+        sc = StatsCollector(2, PAPER_CONFIG)
+        sc.set_window(0.0, 100.0)
+        stats = sc.window_stats()
+        assert "thr=" in repr(stats)

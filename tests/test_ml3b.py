@@ -1,0 +1,109 @@
+"""Tests for the k-ML3B construction, including the exact Table 2."""
+
+import numpy as np
+import pytest
+
+from repro.topology.ml3b import ml3b_table, valid_oft_k, verify_ml3b
+
+#: Table 2 of the paper, verbatim.
+PAPER_TABLE_2 = np.array(
+    [
+        [9, 10, 11, 12],
+        [9, 0, 1, 2],
+        [9, 3, 4, 5],
+        [9, 6, 7, 8],
+        [10, 0, 3, 6],
+        [10, 1, 4, 7],
+        [10, 2, 5, 8],
+        [11, 0, 4, 8],
+        [11, 1, 5, 6],
+        [11, 2, 3, 7],
+        [12, 0, 5, 7],
+        [12, 1, 3, 8],
+        [12, 2, 4, 6],
+    ]
+)
+
+
+class TestValidK:
+    def test_accepts_prime_plus_one(self):
+        for k in (3, 4, 6, 8, 12, 14):
+            assert valid_oft_k(k)
+
+    def test_accepts_prime_power_plus_one(self):
+        # GF-based MOLS extend the construction beyond the paper's
+        # prime case (see repro.maths.mols.mols_prime_power).
+        for k in (5, 9, 10, 17):
+            assert valid_oft_k(k)
+
+    def test_rejects_others(self):
+        for k in (2, 7, 11, 13, 15, 16, 22):
+            assert not valid_oft_k(k)
+
+
+class TestTable2:
+    def test_exact_reproduction(self):
+        assert np.array_equal(ml3b_table(4), PAPER_TABLE_2)
+
+    def test_shape(self):
+        t = ml3b_table(4)
+        assert t.shape == (13, 4)  # RL = 1 + 4*3 = 13
+
+
+class TestInvariants:
+    @pytest.mark.parametrize("k", [3, 4, 6, 8, 12])
+    def test_verify_passes(self, k):
+        assert verify_ml3b(ml3b_table(k)) == []
+
+    @pytest.mark.parametrize("k", [3, 4, 6])
+    def test_rows_pairwise_intersect_once(self, k):
+        t = ml3b_table(k)
+        rows = [set(map(int, t[i])) for i in range(t.shape[0])]
+        for i in range(len(rows)):
+            for j in range(i + 1, len(rows)):
+                assert len(rows[i] & rows[j]) == 1
+
+    @pytest.mark.parametrize("k", [3, 4, 6])
+    def test_every_value_appears_k_times(self, k):
+        t = ml3b_table(k)
+        counts = np.bincount(t.ravel(), minlength=t.shape[0])
+        assert (counts == k).all()
+
+    @pytest.mark.parametrize("k", [3, 4, 6])
+    def test_rows_have_distinct_values(self, k):
+        t = ml3b_table(k)
+        for i in range(t.shape[0]):
+            assert len(set(map(int, t[i]))) == k
+
+    def test_rejects_invalid_k(self):
+        with pytest.raises(ValueError):
+            ml3b_table(7)  # 6 is not a prime power
+        with pytest.raises(ValueError):
+            ml3b_table(2)
+
+    def test_prime_power_extensions_valid(self):
+        for k in (5, 9, 10):
+            assert verify_ml3b(ml3b_table(k)) == []
+
+
+class TestVerifier:
+    def test_detects_bad_shape(self):
+        assert verify_ml3b(np.zeros((4, 4), dtype=int))
+
+    def test_detects_out_of_range(self):
+        t = ml3b_table(3).copy()
+        t[0, 0] = 99
+        assert any("range" in p for p in verify_ml3b(t))
+
+    def test_detects_duplicate_in_row(self):
+        t = ml3b_table(3).copy()
+        t[1, 1] = t[1, 0]
+        assert verify_ml3b(t)
+
+    def test_detects_broken_intersection(self):
+        t = ml3b_table(4).copy()
+        # Swap two distinct values across rows to break the design.
+        a, b = int(t[1, 1]), int(t[4, 2])
+        assert a != b
+        t[1, 1], t[4, 2] = b, a
+        assert verify_ml3b(t)

@@ -1,0 +1,119 @@
+"""Unit tests for the Multi-Layer Full-Mesh topology (Sec. 2.2.3)."""
+
+import pytest
+
+from repro.topology import MLFM
+from repro.topology.base import LINK_DOWN, LINK_UP
+from repro.topology.validate import validate_topology
+
+
+class TestCounts:
+    @pytest.mark.parametrize("h", [2, 3, 4, 5, 7])
+    def test_formulas(self, h):
+        t = MLFM(h)
+        assert t.num_nodes == MLFM.expected_num_nodes(h) == h**3 + h**2
+        assert t.num_routers == MLFM.expected_num_routers(h) == 3 * h * (h + 1) // 2
+        assert t.num_local_routers == h * (h + 1)
+        assert t.num_global_routers == h * (h + 1) // 2
+
+    @pytest.mark.parametrize("h", [3, 5, 7])
+    def test_uniform_radix_2h(self, h):
+        t = MLFM(h)
+        assert {t.radix(r) for r in range(t.num_routers)} == {2 * h}
+
+    def test_paper_configuration_h15(self):
+        t = MLFM(15)
+        assert (t.num_nodes, t.num_routers, t.max_radix()) == (3600, 360, 30)
+
+    @pytest.mark.parametrize("h", [3, 4, 5])
+    def test_cost_exactly_3_and_2(self, h):
+        t = MLFM(h)
+        assert t.ports_per_node() == pytest.approx(3.0)
+        assert t.links_per_node() == pytest.approx(2.0)
+
+    @pytest.mark.parametrize("h", [3, 4, 5])
+    def test_validates(self, h):
+        report = validate_topology(MLFM(h))
+        assert report.ok, report.problems
+
+
+class TestGeneralForm:
+    def test_custom_l_p(self):
+        t = MLFM(4, l=2, p=3)
+        assert t.num_local_routers == 2 * 5
+        assert t.num_nodes == 30
+        # LR radix h + p = 7; GR radix 2l = 4.
+        assert t.radix(0) == 7
+        assert t.radix(t.num_local_routers) == 4
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            MLFM(0)
+        with pytest.raises(ValueError):
+            MLFM(3, l=0)
+        with pytest.raises(ValueError):
+            MLFM(3, p=-1)
+
+
+class TestStructure:
+    def test_local_router_predicates(self, mlfm4):
+        for r in range(mlfm4.num_routers):
+            assert mlfm4.is_local(r) == (r < mlfm4.num_local_routers)
+
+    def test_layer_and_column(self, mlfm4):
+        h = mlfm4.h
+        for r in range(mlfm4.num_local_routers):
+            assert mlfm4.layer_of(r) == r // (h + 1)
+            assert mlfm4.column_of(r) == r % (h + 1)
+
+    def test_layer_of_rejects_gr(self, mlfm4):
+        with pytest.raises(ValueError):
+            mlfm4.layer_of(mlfm4.num_local_routers)
+
+    def test_gr_pair_rejects_lr(self, mlfm4):
+        with pytest.raises(ValueError):
+            mlfm4.gr_pair(0)
+
+    def test_gr_connects_pair_in_every_layer(self, mlfm4):
+        h = mlfm4.h
+        for g in range(mlfm4.num_local_routers, mlfm4.num_routers):
+            a, b = mlfm4.gr_pair(g)
+            neighbors = set(mlfm4.neighbors(g))
+            expected = set()
+            for layer in range(mlfm4.l):
+                expected.add(layer * (h + 1) + a)
+                expected.add(layer * (h + 1) + b)
+            assert neighbors == expected
+
+    def test_lrs_only_connect_to_grs(self, mlfm4):
+        for r in range(mlfm4.num_local_routers):
+            assert all(not mlfm4.is_local(n) for n in mlfm4.neighbors(r))
+
+    def test_endpoint_diameter_two(self, mlfm4):
+        assert mlfm4.endpoint_diameter() == 2
+
+    def test_endpoint_routers_are_lrs(self, mlfm4):
+        assert mlfm4.endpoint_routers() == list(range(mlfm4.num_local_routers))
+
+    def test_same_column_pairs_have_h_common_neighbors(self, mlfm4):
+        h = mlfm4.h
+        lr_a = 0 * (h + 1) + 2  # layer 0, column 2
+        lr_b = 1 * (h + 1) + 2  # layer 1, column 2
+        assert len(mlfm4.common_neighbors(lr_a, lr_b)) == h
+
+    def test_cross_column_pairs_have_one_common_neighbor(self, mlfm4):
+        h = mlfm4.h
+        lr_a = 0 * (h + 1) + 0
+        lr_b = 1 * (h + 1) + 3
+        assert len(mlfm4.common_neighbors(lr_a, lr_b)) == 1
+
+
+class TestLinkClasses:
+    def test_up_toward_gr(self, mlfm4):
+        lr = 0
+        gr = mlfm4.neighbors(lr)[0]
+        assert mlfm4.link_class(lr, gr) == LINK_UP
+        assert mlfm4.link_class(gr, lr) == LINK_DOWN
+
+    def test_valiant_intermediates_are_lrs(self, mlfm4):
+        assert mlfm4.valiant_intermediates() == list(range(mlfm4.num_local_routers))

@@ -1,0 +1,121 @@
+"""Unit and property tests for repro.maths.mols (Latin squares / MOLS)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.maths.mols import (
+    are_orthogonal,
+    galois_latin_square,
+    is_latin_square,
+    latin_square,
+    mols_prime,
+    mols_prime_power,
+)
+
+PRIMES = [2, 3, 5, 7, 11]
+
+
+class TestLatinSquare:
+    def test_order_3_a_1(self):
+        expected = np.array([[0, 1, 2], [1, 2, 0], [2, 0, 1]])
+        assert np.array_equal(latin_square(3, 1), expected)
+
+    def test_is_latin_for_invertible_a(self):
+        for n in PRIMES:
+            for a in range(1, n):
+                assert is_latin_square(latin_square(n, a))
+
+    def test_a_zero_not_latin_for_n_gt_1(self):
+        assert not is_latin_square(latin_square(3, 0))
+
+    def test_rejects_bad_order(self):
+        with pytest.raises(ValueError):
+            latin_square(0, 1)
+
+    def test_order_one(self):
+        assert np.array_equal(latin_square(1, 0), np.array([[0]]))
+
+
+class TestMolsPrime:
+    def test_count(self):
+        for n in PRIMES:
+            assert len(mols_prime(n)) == n - 1
+
+    def test_rejects_composite(self):
+        with pytest.raises(ValueError):
+            mols_prime(4)
+        with pytest.raises(ValueError):
+            mols_prime(6)
+
+    def test_all_latin(self):
+        for square in mols_prime(7):
+            assert is_latin_square(square)
+
+    def test_pairwise_orthogonal(self):
+        for n in (3, 5, 7):
+            family = mols_prime(n)
+            for i in range(len(family)):
+                for j in range(i + 1, len(family)):
+                    assert are_orthogonal(family[i], family[j])
+
+
+class TestPredicates:
+    def test_is_latin_square_rejects_non_square(self):
+        assert not is_latin_square(np.zeros((2, 3), dtype=int))
+
+    def test_is_latin_square_rejects_repeats(self):
+        assert not is_latin_square(np.array([[0, 1], [0, 1]]))
+
+    def test_are_orthogonal_detects_self(self):
+        sq = latin_square(3, 1)
+        assert not are_orthogonal(sq, sq)
+
+    def test_are_orthogonal_shape_mismatch(self):
+        assert not are_orthogonal(latin_square(3, 1), latin_square(5, 1))
+
+
+@given(st.sampled_from([3, 5, 7, 11]), st.data())
+@settings(max_examples=40, deadline=None)
+def test_property_rows_and_columns_are_permutations(n, data):
+    a = data.draw(st.integers(1, n - 1))
+    sq = latin_square(n, a)
+    i = data.draw(st.integers(0, n - 1))
+    assert sorted(sq[i, :]) == list(range(n))
+    assert sorted(sq[:, i]) == list(range(n))
+
+
+@given(st.sampled_from([3, 5, 7]), st.data())
+@settings(max_examples=30, deadline=None)
+def test_property_distinct_a_orthogonal(n, data):
+    a = data.draw(st.integers(1, n - 1))
+    b = data.draw(st.integers(1, n - 1))
+    if a != b:
+        assert are_orthogonal(latin_square(n, a), latin_square(n, b))
+
+
+class TestMolsPrimePower:
+    def test_count(self):
+        for q in (4, 8, 9):
+            assert len(mols_prime_power(q)) == q - 1
+
+    def test_all_latin(self):
+        for q in (4, 8, 9):
+            for sq in mols_prime_power(q):
+                assert is_latin_square(sq)
+
+    def test_pairwise_orthogonal(self):
+        for q in (4, 9):
+            family = mols_prime_power(q)
+            for i in range(len(family)):
+                for j in range(i + 1, len(family)):
+                    assert are_orthogonal(family[i], family[j])
+
+    def test_rejects_non_prime_power(self):
+        with pytest.raises(ValueError):
+            mols_prime_power(6)
+
+    def test_matches_modular_for_primes(self):
+        for n in (3, 5, 7):
+            for a in range(1, n):
+                assert np.array_equal(galois_latin_square(n, a), latin_square(n, a))

@@ -1,0 +1,66 @@
+"""Unit tests for repro.maths.moore (the Moore bound)."""
+
+import pytest
+
+from repro.maths.moore import moore_bound, moore_fraction
+from repro.topology import SlimFly
+
+
+class TestMooreBound:
+    def test_diameter2_formula(self):
+        # M(d, 2) = 1 + d^2.
+        for d in range(2, 20):
+            assert moore_bound(d, 2) == 1 + d * d
+
+    def test_diameter1(self):
+        assert moore_bound(5, 1) == 6  # complete graph K6
+
+    def test_diameter0(self):
+        assert moore_bound(7, 0) == 1
+
+    def test_degree_zero(self):
+        assert moore_bound(0, 3) == 1
+
+    def test_degree_one(self):
+        assert moore_bound(1, 5) == 2
+
+    def test_petersen_graph(self):
+        # The Petersen graph achieves the Moore bound for (3, 2).
+        assert moore_bound(3, 2) == 10
+
+    def test_hoffman_singleton(self):
+        # Hoffman-Singleton achieves the bound for (7, 2).
+        assert moore_bound(7, 2) == 50
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            moore_bound(-1, 2)
+        with pytest.raises(ValueError):
+            moore_bound(3, -2)
+
+
+class TestMooreFraction:
+    def test_slim_fly_near_88_percent(self):
+        # Paper Sec. 2.1.2: the SF reaches ~88% of the Moore bound.  The
+        # exact fraction oscillates with delta around the asymptote
+        # 8/9 ~ 0.889 (q = 5 is Hoffman-Singleton at exactly 100%).
+        fracs = []
+        for q in (7, 9, 11, 13):
+            sf = SlimFly(q)
+            frac = moore_fraction(sf.num_routers, sf.network_radix, 2)
+            fracs.append(frac)
+            assert 0.79 <= frac <= 0.96, f"q={q}: {frac:.3f}"
+        assert abs(sum(fracs) / len(fracs) - 8 / 9) < 0.05
+
+    def test_asymptotic_fraction_is_8_9(self):
+        # 2q^2 / (1 + ((3q - delta)/2)^2) -> 8/9.
+        sf = SlimFly(41)  # q = 41: delta = +1, large enough to be close
+        frac = moore_fraction(sf.num_routers, sf.network_radix, 2)
+        assert abs(frac - 8 / 9) < 0.03
+
+    def test_slim_fly_q5_is_hoffman_singleton(self):
+        sf = SlimFly(5)
+        assert moore_fraction(sf.num_routers, sf.network_radix, 2) == 1.0
+
+    def test_complete_graph_hits_bound(self):
+        assert moore_fraction(6, 5, 1) == 1.0

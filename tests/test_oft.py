@@ -1,0 +1,131 @@
+"""Unit tests for the two-level Orthogonal Fat-Tree (Sec. 2.2.4)."""
+
+import pytest
+
+from repro.topology import OFT
+from repro.topology.base import LINK_DOWN, LINK_UP
+from repro.topology.validate import validate_topology
+
+
+class TestCounts:
+    @pytest.mark.parametrize("k", [3, 4, 6, 8])
+    def test_formulas(self, k):
+        t = OFT(k)
+        assert t.num_nodes == OFT.expected_num_nodes(k) == 2 * k**3 - 2 * k**2 + 2 * k
+        assert t.num_routers == OFT.expected_num_routers(k) == 3 * (k * k - k + 1)
+        assert t.rl == 1 + k * (k - 1)
+
+    @pytest.mark.parametrize("k", [3, 4, 6])
+    def test_uniform_radix_2k(self, k):
+        t = OFT(k)
+        assert {t.radix(r) for r in range(t.num_routers)} == {2 * k}
+
+    def test_paper_configuration_k12(self):
+        t = OFT(12)
+        assert (t.num_nodes, t.num_routers, t.max_radix()) == (3192, 399, 24)
+
+    @pytest.mark.parametrize("k", [3, 4, 6])
+    def test_cost_exactly_3_and_2(self, k):
+        t = OFT(k)
+        assert t.ports_per_node() == pytest.approx(3.0)
+        assert t.links_per_node() == pytest.approx(2.0)
+
+    @pytest.mark.parametrize("k", [3, 4, 6])
+    def test_validates(self, k):
+        report = validate_topology(OFT(k))
+        assert report.ok, report.problems
+
+    def test_rejects_invalid_k(self):
+        with pytest.raises(ValueError):
+            OFT(7)  # 6 is not a prime power
+        with pytest.raises(ValueError):
+            OFT(2)
+
+    def test_prime_power_extension(self):
+        # k - 1 = 4 = 2^2: beyond the paper's prime-only construction.
+        t = OFT(5)
+        assert t.num_nodes == OFT.expected_num_nodes(5) == 210
+        assert t.endpoint_diameter() == 2
+
+    def test_custom_p(self):
+        t = OFT(4, p=2)
+        assert t.num_nodes == 2 * 2 * t.rl
+        with pytest.raises(ValueError):
+            OFT(4, p=-1)
+
+
+class TestStructure:
+    def test_levels(self, oft4):
+        rl = oft4.rl
+        assert oft4.level(0) == OFT.LEVEL_L0
+        assert oft4.level(rl) == OFT.LEVEL_L1
+        assert oft4.level(2 * rl) == OFT.LEVEL_L2
+
+    def test_l1_has_no_nodes(self, oft4):
+        rl = oft4.rl
+        for r in range(rl, 2 * rl):
+            assert oft4.nodes_attached(r) == 0
+
+    def test_l0_l2_have_k_nodes(self, oft4):
+        rl, k = oft4.rl, oft4.k
+        for r in list(range(rl)) + list(range(2 * rl, 3 * rl)):
+            assert oft4.nodes_attached(r) == k
+
+    def test_wiring_follows_ml3b_rows(self, oft4):
+        rl = oft4.rl
+        for i in range(rl):
+            expected = {rl + int(j) for j in oft4.table[i]}
+            assert set(oft4.neighbors(i)) == expected
+            assert set(oft4.neighbors(2 * rl + i)) == expected
+
+    def test_l1_connects_only_to_l0_l2(self, oft4):
+        rl = oft4.rl
+        for j in range(rl, 2 * rl):
+            for n in oft4.neighbors(j):
+                assert oft4.level(n) in (OFT.LEVEL_L0, OFT.LEVEL_L2)
+
+    def test_endpoint_diameter_two(self, oft4):
+        assert oft4.endpoint_diameter() == 2
+
+    def test_symmetric_counterpart(self, oft4):
+        rl = oft4.rl
+        assert oft4.symmetric_counterpart(0) == 2 * rl
+        assert oft4.symmetric_counterpart(2 * rl) == 0
+        with pytest.raises(ValueError):
+            oft4.symmetric_counterpart(rl)  # L1 router
+
+    def test_symmetric_pairs_share_all_k_neighbors(self, oft4):
+        for i in range(oft4.rl):
+            mirror = oft4.symmetric_counterpart(i)
+            assert len(oft4.common_neighbors(i, mirror)) == oft4.k
+
+    def test_non_symmetric_pairs_share_one_neighbor(self, oft4):
+        rl = oft4.rl
+        # L0-L0 pairs (distinct) and non-mirrored L0-L2 pairs share
+        # exactly one L1 router (the SPT single-path property).
+        assert len(oft4.common_neighbors(0, 1)) == 1
+        assert len(oft4.common_neighbors(0, 2 * rl + 1)) == 1
+
+    def test_index_in_level(self, oft4):
+        rl = oft4.rl
+        assert oft4.index_in_level(0) == 0
+        assert oft4.index_in_level(rl + 3) == 3
+        assert oft4.index_in_level(2 * rl + 5) == 5
+
+
+class TestLinkClasses:
+    def test_up_toward_l1(self, oft4):
+        rl = oft4.rl
+        l0, l1 = 0, oft4.neighbors(0)[0]
+        assert oft4.level(l1) == OFT.LEVEL_L1
+        assert oft4.link_class(l0, l1) == LINK_UP
+        assert oft4.link_class(l1, l0) == LINK_DOWN
+        l2 = 2 * rl
+        l1b = oft4.neighbors(l2)[0]
+        assert oft4.link_class(l2, l1b) == LINK_UP
+        assert oft4.link_class(l1b, l2) == LINK_DOWN
+
+    def test_valiant_intermediates_are_l0_l2(self, oft4):
+        rl = oft4.rl
+        expected = list(range(rl)) + list(range(2 * rl, 3 * rl))
+        assert oft4.valiant_intermediates() == expected

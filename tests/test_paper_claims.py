@@ -1,0 +1,212 @@
+"""End-to-end reproduction of the paper's headline claims at test scale.
+
+These are the integration tests that tie topology + routing + simulator
++ traffic together and check the *shape* of the paper's results
+(Sec. 4.3/4.4): who wins, by roughly what factor, and where the
+saturation points fall.  They use the smallest configurations that
+exhibit each phenomenon so the whole module stays tractable.
+"""
+
+import pytest
+
+from repro.routing import IndirectRandomRouting, MinimalRouting, UGALRouting
+from repro.sim import Network
+from repro.topology import MLFM, OFT, SlimFly
+from repro.traffic import UniformRandom, worst_case_traffic
+
+WARMUP = 1_500.0
+MEASURE = 5_000.0
+
+
+def run(topology, routing, pattern, load, seed=7):
+    net = Network(topology, routing)
+    return net.run_synthetic(
+        pattern, load=load, warmup_ns=WARMUP, measure_ns=MEASURE, seed=seed
+    )
+
+
+@pytest.fixture(scope="module")
+def sf():
+    return SlimFly(5, "floor")
+
+
+@pytest.fixture(scope="module")
+def mlfm():
+    return MLFM(5)
+
+
+@pytest.fixture(scope="module")
+def oft():
+    return OFT(4)
+
+
+class TestUniformMinimal:
+    """Sec. 4.3.1: MIN supports ~96-98% of load under uniform traffic."""
+
+    def test_sf_high_uniform_throughput(self, sf):
+        stats = run(sf, MinimalRouting(sf, seed=1), UniformRandom(sf.num_nodes), 0.9)
+        assert stats.throughput >= 0.85
+
+    def test_mlfm_high_uniform_throughput(self, mlfm):
+        stats = run(mlfm, MinimalRouting(mlfm, seed=1), UniformRandom(mlfm.num_nodes), 0.9)
+        assert stats.throughput >= 0.85
+
+    def test_oft_high_uniform_throughput(self, oft):
+        stats = run(oft, MinimalRouting(oft, seed=1), UniformRandom(oft.num_nodes), 0.9)
+        assert stats.throughput >= 0.85
+
+    def test_sf_ceil_saturates_earlier_than_floor(self):
+        # Sec. 4.3.1: "the one with higher p saturates faster, at ~87%".
+        floor = SlimFly(5, "floor")
+        ceil = SlimFly(5, "ceil")
+        thr_floor = run(
+            floor, MinimalRouting(floor, seed=1), UniformRandom(floor.num_nodes), 0.97
+        ).throughput
+        thr_ceil = run(
+            ceil, MinimalRouting(ceil, seed=1), UniformRandom(ceil.num_nodes), 0.97
+        ).throughput
+        assert thr_ceil < thr_floor
+
+
+class TestWorstCaseMinimal:
+    """Sec. 4.2/4.3.1: MIN saturates at 1/(2p), 1/h, 1/k under WC."""
+
+    def test_sf_saturation(self, sf):
+        expected = 1.0 / (2 * sf.p)  # ~0.167
+        stats = run(sf, MinimalRouting(sf, seed=1), worst_case_traffic(sf, seed=2), 0.5)
+        assert stats.throughput == pytest.approx(expected, rel=0.25)
+
+    def test_mlfm_saturation(self, mlfm):
+        stats = run(mlfm, MinimalRouting(mlfm, seed=1), worst_case_traffic(mlfm), 0.5)
+        assert stats.throughput == pytest.approx(1.0 / mlfm.h, rel=0.1)
+
+    def test_oft_saturation(self, oft):
+        stats = run(oft, MinimalRouting(oft, seed=1), worst_case_traffic(oft), 0.5)
+        assert stats.throughput == pytest.approx(1.0 / oft.k, rel=0.1)
+
+    def test_below_saturation_accepted(self, mlfm):
+        load = 0.8 / mlfm.h
+        stats = run(mlfm, MinimalRouting(mlfm, seed=1), worst_case_traffic(mlfm), load)
+        assert stats.throughput == pytest.approx(load, rel=0.1)
+
+
+class TestIndirectRandom:
+    """Sec. 4.3.1: INR halves uniform throughput but rescues the WC."""
+
+    def test_uniform_halved(self, mlfm):
+        stats = run(
+            mlfm, IndirectRandomRouting(mlfm, seed=1), UniformRandom(mlfm.num_nodes), 0.9
+        )
+        assert stats.throughput == pytest.approx(0.5, abs=0.08)
+
+    def test_wc_equals_uniform_saturation(self, mlfm):
+        # INR makes WC look like uniform: both saturate around 0.5.
+        wc = run(mlfm, IndirectRandomRouting(mlfm, seed=1), worst_case_traffic(mlfm), 0.45)
+        assert wc.throughput == pytest.approx(0.45, rel=0.1)
+
+    def test_wc_beats_minimal(self, oft):
+        min_thr = run(
+            oft, MinimalRouting(oft, seed=1), worst_case_traffic(oft), 0.45
+        ).throughput
+        inr_thr = run(
+            oft, IndirectRandomRouting(oft, seed=1), worst_case_traffic(oft), 0.45
+        ).throughput
+        assert inr_thr > 1.5 * min_thr
+
+    def test_latency_overhead_at_low_load(self, sf):
+        min_lat = run(
+            sf, MinimalRouting(sf, seed=1), UniformRandom(sf.num_nodes), 0.1
+        ).mean_latency_ns
+        inr_lat = run(
+            sf, IndirectRandomRouting(sf, seed=1), UniformRandom(sf.num_nodes), 0.1
+        ).mean_latency_ns
+        # Indirect paths are about twice as long.
+        assert inr_lat > 1.3 * min_lat
+
+
+class TestAdaptive:
+    """Sec. 4.3.2: UGAL matches MIN on uniform and beats INR's latency
+    while rescuing worst-case throughput."""
+
+    def test_sf_a_uniform_matches_minimal(self, sf):
+        ug = UGALRouting(sf, cost_mode="sf", c_sf=1.0, num_indirect=4, seed=1)
+        stats = run(sf, ug, UniformRandom(sf.num_nodes), 0.8)
+        assert stats.throughput >= 0.75
+
+    def test_sf_a_wc_beats_minimal(self, sf):
+        ug = UGALRouting(sf, cost_mode="sf", c_sf=1.0, num_indirect=4, seed=1)
+        wc = worst_case_traffic(sf, seed=2)
+        adaptive = run(sf, ug, wc, 0.4).throughput
+        minimal = run(sf, MinimalRouting(sf, seed=1), wc, 0.4).throughput
+        assert adaptive > 1.5 * minimal
+
+    def test_mlfm_a_wc(self, mlfm):
+        ug = UGALRouting(mlfm, c=2.0, num_indirect=5, seed=1)
+        stats = run(mlfm, ug, worst_case_traffic(mlfm), 0.4)
+        assert stats.throughput >= 0.3
+
+    def test_oft_a_wc(self, oft):
+        ug = UGALRouting(oft, c=2.0, num_indirect=1, seed=1)
+        stats = run(oft, ug, worst_case_traffic(oft), 0.4)
+        assert stats.throughput >= 0.3
+
+    def test_threshold_keeps_uniform_latency_low(self, sf):
+        # Sec. 4.3.2 / Fig. 8: with T=10% the latency creep of generic
+        # UGAL under high uniform load disappears: packets stay minimal.
+        generic = UGALRouting(sf, cost_mode="sf", c_sf=0.1, num_indirect=4, seed=1)
+        thresh = UGALRouting(
+            sf, cost_mode="sf", c_sf=0.1, num_indirect=4, threshold=0.10, seed=1
+        )
+        lat_generic = run(sf, generic, UniformRandom(sf.num_nodes), 0.7).mean_latency_ns
+        lat_thresh = run(sf, thresh, UniformRandom(sf.num_nodes), 0.7).mean_latency_ns
+        assert lat_thresh < lat_generic
+
+    def test_generic_ugal_drawback_fixed_by_threshold(self, mlfm):
+        # Sec. 3.3: generic UGAL routes some packets indirectly even at
+        # low load ("when q_I = 0, the value of c doesn't matter") --
+        # that is the documented drawback; the threshold variant
+        # suppresses it almost completely.
+        def indirect_frac(routing):
+            net = Network(mlfm, routing)
+            stats = net.run_synthetic(
+                UniformRandom(mlfm.num_nodes), load=0.1,
+                warmup_ns=WARMUP, measure_ns=MEASURE, seed=7,
+            )
+            kinds = stats.kind_counts
+            return kinds.get("indirect", 0) / max(sum(kinds.values()), 1)
+
+        generic = indirect_frac(UGALRouting(mlfm, c=2.0, num_indirect=5, seed=1))
+        thresholded = indirect_frac(
+            UGALRouting(mlfm, c=2.0, num_indirect=5, threshold=0.10, seed=1)
+        )
+        assert generic > 0.1  # the drawback is visible
+        assert thresholded < 0.02  # and the threshold removes it
+
+
+class TestExchanges:
+    """Sec. 4.4: exchange-pattern orderings (Figs. 13/14)."""
+
+    def test_a2a_inr_about_half_of_min(self, oft):
+        from repro.traffic import AllToAll
+
+        a2a = AllToAll(oft.num_nodes, message_bytes=512, seed=3)
+        eff = {}
+        for name, routing in (
+            ("min", MinimalRouting(oft, seed=1)),
+            ("inr", IndirectRandomRouting(oft, seed=1)),
+        ):
+            net = Network(oft, routing)
+            eff[name] = net.run_exchange(a2a)["effective_throughput"]
+        assert eff["min"] > 0.6
+        assert eff["inr"] == pytest.approx(eff["min"] / 2, rel=0.35)
+
+    def test_nn_inr_beats_min_is_scale_dependent_but_completes(self, mlfm):
+        from repro.traffic import NearestNeighbor3D, paper_torus_dims
+
+        nn = NearestNeighbor3D(
+            mlfm.num_nodes, message_bytes=2048, dims=paper_torus_dims(mlfm)
+        )
+        for routing in (MinimalRouting(mlfm, seed=1), IndirectRandomRouting(mlfm, seed=1)):
+            net = Network(mlfm, routing)
+            res = net.run_exchange(nn)
+            assert 0.2 <= res["effective_throughput"] <= 1.0

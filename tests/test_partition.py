@@ -1,0 +1,128 @@
+"""Tests for the multilevel graph partitioner and bisection bandwidth."""
+
+import pytest
+
+from repro.analysis.bisection import bisection_bandwidth
+from repro.analysis.partition import Graph, bisect, cut_weight
+from repro.topology import MLFM, OFT, SlimFly
+
+
+def two_cliques(k=6, bridge=1):
+    """Two k-cliques joined by `bridge` edges: optimal cut = bridge."""
+    g = Graph(2 * k)
+    for base in (0, k):
+        for i in range(k):
+            for j in range(i + 1, k):
+                g.add_edge(base + i, base + j)
+    for b in range(bridge):
+        g.add_edge(b, k + b)
+    return g
+
+
+class TestGraph:
+    def test_vertex_weights_default_one(self):
+        g = Graph(3)
+        assert g.total_vertex_weight == 3.0
+
+    def test_weight_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Graph(3, [1.0, 2.0])
+
+    def test_parallel_edges_accumulate(self):
+        g = Graph(2)
+        g.add_edge(0, 1, 1.0)
+        g.add_edge(0, 1, 2.0)
+        assert g.adj[0][1] == 3.0
+
+    def test_self_loop_ignored(self):
+        g = Graph(2)
+        g.add_edge(1, 1)
+        assert g.adj[1] == {}
+
+    def test_from_topology_weights(self, mlfm4):
+        g = Graph.from_topology(mlfm4)
+        assert g.n == mlfm4.num_routers
+        assert g.vwgt[0] == mlfm4.p
+        assert g.vwgt[mlfm4.num_local_routers] == 0  # GRs carry no nodes
+
+
+class TestCutWeight:
+    def test_simple(self):
+        g = Graph(3)
+        g.add_edge(0, 1)
+        g.add_edge(1, 2)
+        assert cut_weight(g, [0, 0, 1]) == 1.0
+        assert cut_weight(g, [0, 1, 0]) == 2.0
+        assert cut_weight(g, [0, 0, 0]) == 0.0
+
+
+class TestBisect:
+    def test_two_cliques_optimal(self):
+        result = bisect(two_cliques(), restarts=4, seed=0)
+        assert result.cut == 1.0
+        assert result.part_weights == (6.0, 6.0)
+
+    def test_two_cliques_three_bridges(self):
+        result = bisect(two_cliques(bridge=3), restarts=4, seed=0)
+        assert result.cut == 3.0
+
+    def test_balance_respected(self):
+        result = bisect(two_cliques(), max_imbalance=0.05, restarts=4, seed=0)
+        assert result.imbalance <= 1.05 + 1e-9
+
+    def test_ring_cut_two(self):
+        g = Graph(16)
+        for i in range(16):
+            g.add_edge(i, (i + 1) % 16)
+        result = bisect(g, restarts=8, seed=0)
+        assert result.cut == 2.0
+
+    def test_rejects_tiny_graph(self):
+        with pytest.raises(ValueError):
+            bisect(Graph(1))
+
+    def test_weighted_balance(self):
+        # A path where one vertex carries most weight.
+        g = Graph(4, [10.0, 1.0, 1.0, 10.0])
+        for i in range(3):
+            g.add_edge(i, i + 1)
+        result = bisect(g, restarts=4, seed=0)
+        # Must split between the two heavy ends.
+        p = result.parts
+        assert p[0] != p[3]
+
+    def test_deterministic_given_seed(self):
+        g = two_cliques()
+        a = bisect(g, restarts=3, seed=5)
+        b = bisect(g, restarts=3, seed=5)
+        assert a.cut == b.cut and a.parts == b.parts
+
+
+class TestBisectionBandwidth:
+    def test_oft3_exact_optimum(self, oft3):
+        # Brute-force verified optimum for OFT(3): cut 13 (see the
+        # partitioner development notes); the multilevel heuristic must
+        # find it.
+        bb = bisection_bandwidth(oft3, restarts=16, seed=1)
+        assert bb.cut_links == 13.0
+        assert bb.per_node == pytest.approx(13 / 21)
+
+    def test_paper_fig4_ordering_small(self):
+        # Fig. 4 orderings that already hold at small scale: SF with
+        # p=floor beats p=ceil (same cut, fewer nodes per router), and
+        # MLFM trends lowest.
+        sf_floor = bisection_bandwidth(SlimFly(7, "floor"), restarts=6, seed=1)
+        sf_ceil = bisection_bandwidth(SlimFly(7, "ceil"), restarts=6, seed=1)
+        mlfm = bisection_bandwidth(MLFM(7), restarts=6, seed=1)
+        assert sf_floor.per_node > sf_ceil.per_node
+        assert mlfm.per_node < sf_floor.per_node
+
+    def test_sf7_near_paper_value(self):
+        # Paper: ~0.71 b/node for SF with p = floor.
+        bb = bisection_bandwidth(SlimFly(7, "floor"), restarts=6, seed=1)
+        assert 0.6 <= bb.per_node <= 0.8
+
+    def test_split_balanced_by_nodes(self, sf5):
+        bb = bisection_bandwidth(sf5, restarts=4, seed=1)
+        lo, hi = sorted(bb.node_split)
+        assert hi / lo <= 1.12

@@ -1,0 +1,83 @@
+"""Tests for minimal-path enumeration (repro.routing.paths)."""
+
+import pytest
+
+from repro.routing.paths import MinimalPaths, all_shortest_paths_bfs
+from repro.topology import MLFM, OFT, SlimFly
+from repro.topology.base import Topology
+
+
+class TestBFS:
+    def test_self(self, sf5):
+        assert all_shortest_paths_bfs(sf5, 3, 3) == [(3,)]
+
+    def test_adjacent(self, sf5):
+        n = sf5.neighbors(0)[0]
+        assert all_shortest_paths_bfs(sf5, 0, n) == [(0, n)]
+
+    def test_matches_common_neighbors(self, sf5):
+        for d in range(sf5.num_routers):
+            if d == 0 or sf5.is_edge(0, d):
+                continue
+            paths = all_shortest_paths_bfs(sf5, 0, d)
+            middles = sorted(p[1] for p in paths)
+            assert middles == sf5.common_neighbors(0, d)
+            assert all(len(p) == 3 for p in paths)
+
+    def test_disconnected_raises(self):
+        t = Topology("disc", [[1], [0], [3], [2]], [1, 1, 1, 1])
+        with pytest.raises(ValueError):
+            all_shortest_paths_bfs(t, 0, 2)
+
+    def test_long_path(self):
+        t = Topology("path", [[1], [0, 2], [1, 3], [2]], [1, 0, 0, 1])
+        assert all_shortest_paths_bfs(t, 0, 3) == [(0, 1, 2, 3)]
+
+
+class TestMinimalPaths:
+    def test_caches(self, sf5):
+        mp = MinimalPaths(sf5)
+        first = mp.paths(0, 7)
+        assert mp.paths(0, 7) is first
+
+    def test_all_paths_valid_edges(self, mlfm4):
+        mp = MinimalPaths(mlfm4)
+        eps = mlfm4.endpoint_routers()
+        for s in eps[:5]:
+            for d in eps:
+                for path in mp.paths(s, d):
+                    for u, v in zip(path[:-1], path[1:]):
+                        assert mlfm4.is_edge(u, v)
+
+    def test_distance(self, sf5):
+        mp = MinimalPaths(sf5)
+        assert mp.distance(0, 0) == 0
+        n = sf5.neighbors(0)[0]
+        assert mp.distance(0, n) == 1
+
+    def test_diversity_mlfm_same_column(self, mlfm4):
+        mp = MinimalPaths(mlfm4)
+        h = mlfm4.h
+        same_col = (0, h + 1)  # layer 0/1, column 0
+        assert mp.diversity(*same_col) == h
+
+    def test_diversity_oft_symmetric(self, oft4):
+        mp = MinimalPaths(oft4)
+        assert mp.diversity(0, oft4.symmetric_counterpart(0)) == oft4.k
+
+    def test_paths_unique_for_most_oft_pairs(self, oft4):
+        mp = MinimalPaths(oft4)
+        assert mp.diversity(0, 1) == 1
+
+    def test_bfs_fallback_for_long_pairs(self, ft3):
+        # Cross-pod pairs in a 3-level fat tree are 4 hops apart.
+        mp = MinimalPaths(ft3)
+        other_pod = ft3.num_edge - 1
+        paths = mp.paths(0, other_pod)
+        assert all(len(p) == 5 for p in paths)
+        assert len(paths) == (ft3.r // 2) ** 2  # full up-route diversity
+
+    def test_sf_distance_at_most_two(self, sf5):
+        mp = MinimalPaths(sf5)
+        for d in range(sf5.num_routers):
+            assert mp.distance(0, d) <= 2

@@ -1,0 +1,140 @@
+"""Unit tests for repro.maths.primes."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.maths.primes import (
+    factorize,
+    is_prime,
+    is_prime_power,
+    next_prime,
+    next_prime_power,
+    prime_power_decomposition,
+    primes_up_to,
+)
+
+
+class TestIsPrime:
+    def test_small_primes(self):
+        for p in (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41):
+            assert is_prime(p)
+
+    def test_small_composites(self):
+        for n in (0, 1, 4, 6, 8, 9, 10, 12, 15, 21, 25, 27, 33, 39, 49):
+            assert not is_prime(n)
+
+    def test_negative(self):
+        assert not is_prime(-7)
+
+    def test_large_prime(self):
+        assert is_prime(2_147_483_647)  # Mersenne prime 2^31 - 1
+
+    def test_large_composite(self):
+        assert not is_prime(2_147_483_647 * 3)
+
+    def test_carmichael_numbers(self):
+        # Classic Fermat pseudoprimes that must not fool Miller-Rabin.
+        for n in (561, 1105, 1729, 2465, 2821, 6601, 8911):
+            assert not is_prime(n)
+
+    def test_square_of_prime(self):
+        assert not is_prime(10007**2)
+
+    @given(st.integers(min_value=2, max_value=100_000))
+    def test_agrees_with_trial_division(self, n):
+        trial = all(n % d for d in range(2, int(n**0.5) + 1))
+        assert is_prime(n) == trial
+
+
+class TestPrimesUpTo:
+    def test_empty(self):
+        assert primes_up_to(1) == []
+        assert primes_up_to(0) == []
+
+    def test_small(self):
+        assert primes_up_to(20) == [2, 3, 5, 7, 11, 13, 17, 19]
+
+    def test_limit_inclusive(self):
+        assert 97 in primes_up_to(97)
+
+    def test_count_below_1000(self):
+        assert len(primes_up_to(1000)) == 168
+
+    def test_all_prime(self):
+        assert all(is_prime(p) for p in primes_up_to(500))
+
+
+class TestFactorize:
+    def test_one(self):
+        assert factorize(1) == {}
+
+    def test_prime(self):
+        assert factorize(13) == {13: 1}
+
+    def test_prime_power(self):
+        assert factorize(243) == {3: 5}
+
+    def test_mixed(self):
+        assert factorize(360) == {2: 3, 3: 2, 5: 1}
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            factorize(0)
+        with pytest.raises(ValueError):
+            factorize(-6)
+
+    @given(st.integers(min_value=1, max_value=100_000))
+    def test_product_reconstructs(self, n):
+        product = 1
+        for p, e in factorize(n).items():
+            assert is_prime(p)
+            product *= p**e
+        assert product == n
+
+
+class TestPrimePowers:
+    def test_primes_are_prime_powers(self):
+        for p in (2, 3, 13, 101):
+            assert prime_power_decomposition(p) == (p, 1)
+
+    def test_powers(self):
+        assert prime_power_decomposition(8) == (2, 3)
+        assert prime_power_decomposition(9) == (3, 2)
+        assert prime_power_decomposition(49) == (7, 2)
+        assert prime_power_decomposition(128) == (2, 7)
+
+    def test_non_prime_powers(self):
+        for n in (0, 1, 6, 10, 12, 100, 1000):
+            assert prime_power_decomposition(n) is None
+            assert not is_prime_power(n)
+
+    def test_slim_fly_relevant_values(self):
+        # The q values used throughout the paper and tests.
+        for q in (4, 5, 7, 8, 9, 11, 13, 16, 17, 19, 23, 25):
+            assert is_prime_power(q)
+
+    @given(st.integers(min_value=2, max_value=2000))
+    def test_decomposition_consistent(self, n):
+        decomp = prime_power_decomposition(n)
+        if decomp is not None:
+            p, e = decomp
+            assert is_prime(p) and p**e == n
+
+
+class TestNext:
+    def test_next_prime(self):
+        assert next_prime(1) == 2
+        assert next_prime(2) == 3
+        assert next_prime(13) == 17
+        assert next_prime(89) == 97
+
+    def test_next_prime_power(self):
+        assert next_prime_power(7) == 8
+        assert next_prime_power(8) == 9
+        assert next_prime_power(9) == 11
+        assert next_prime_power(25) == 27
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_next_prime_is_prime_and_greater(self, n):
+        p = next_prime(n)
+        assert p > n and is_prime(p)

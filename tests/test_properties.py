@@ -1,0 +1,145 @@
+"""Cross-module property-based tests (hypothesis).
+
+Randomised invariants that tie the layers together: any valid topology
+parameter draw must produce a structurally sound network whose routes,
+VC labels and static analyses are mutually consistent.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.linkload import channel_loads_minimal, permutation_flows
+from repro.routing import IndirectRandomRouting, MinimalRouting, UGALRouting
+from repro.routing.paths import MinimalPaths
+from repro.topology import MLFM, OFT, SSPT, HyperX2D, SlimFly
+from repro.traffic import ShiftTraffic
+
+# Strategy: topology constructors over small valid parameter spaces.
+TOPOLOGY_STRATEGY = st.one_of(
+    st.sampled_from([4, 5, 7, 8]).map(SlimFly),
+    st.sampled_from([2, 3, 4, 5]).map(MLFM),
+    st.sampled_from([3, 4]).map(OFT),
+    st.sampled_from([(3, 3), (4, 4), (3, 4)]).map(lambda s: HyperX2D(*s)),
+    st.sampled_from([(3, 2), (4, 2), (4, 4)]).map(lambda a: SSPT(*a)),
+)
+
+
+@given(TOPOLOGY_STRATEGY)
+@settings(max_examples=25, deadline=None)
+def test_structural_invariants(topo):
+    # Node bookkeeping is consistent.
+    assert sum(topo.nodes_attached(r) for r in range(topo.num_routers)) == topo.num_nodes
+    for r in topo.endpoint_routers()[:5]:
+        for n in topo.nodes_of(r):
+            assert topo.router_of(n) == r
+    # Handshake: port maps agree with adjacency.
+    for r in range(0, topo.num_routers, max(1, topo.num_routers // 7)):
+        for i, neighbor in enumerate(topo.neighbors(r)):
+            assert topo.port(r, neighbor) == i
+    # All the paper's topologies are endpoint-diameter-2.
+    assert topo.endpoint_diameter() == 2
+    # And cost at most ~3.5 ports / 2.5 links (SF rounding slack).
+    assert topo.ports_per_node() <= 3.5
+    assert topo.links_per_node() <= 2.5
+
+
+@given(TOPOLOGY_STRATEGY, st.integers(0, 2**31))
+@settings(max_examples=25, deadline=None)
+def test_minimal_routes_are_valid_and_minimal(topo, seed):
+    mr = MinimalRouting(topo, seed=seed)
+    mp = MinimalPaths(topo)
+    rng = random.Random(seed)
+    endpoints = topo.endpoint_routers()
+    for _ in range(10):
+        s = endpoints[rng.randrange(len(endpoints))]
+        d = endpoints[rng.randrange(len(endpoints))]
+        route = mr.route(s, d)
+        # Route endpoints and edge validity.
+        assert route.routers[0] == s and route.routers[-1] == d
+        for u, v in route.channels():
+            assert topo.is_edge(u, v)
+        # Minimality.
+        assert route.num_hops == mp.distance(s, d)
+        # VC labels within the policy budget.
+        assert len(route.vcs) == route.num_hops
+        if route.vcs:
+            assert max(route.vcs) < mr.num_vcs
+
+
+@given(TOPOLOGY_STRATEGY, st.integers(0, 2**31))
+@settings(max_examples=20, deadline=None)
+def test_indirect_routes_pass_through_intermediate(topo, seed):
+    ir = IndirectRandomRouting(topo, seed=seed)
+    rng = random.Random(seed)
+    endpoints = topo.endpoint_routers()
+    pool = set(topo.valiant_intermediates())
+    for _ in range(10):
+        s = endpoints[rng.randrange(len(endpoints))]
+        d = endpoints[rng.randrange(len(endpoints))]
+        route = ir.route(s, d)
+        if s == d:
+            assert route.routers == (s,)
+            continue
+        inter = route.routers[route.intermediate]
+        assert inter in pool and inter not in (s, d)
+        # VC labels never decrease along an indirect route (both the
+        # hop-indexed and the phase scheme are monotone).
+        assert list(route.vcs) == sorted(route.vcs)
+        assert max(route.vcs) < ir.num_vcs
+
+
+@given(TOPOLOGY_STRATEGY, st.integers(0, 2**31))
+@settings(max_examples=15, deadline=None)
+def test_ugal_routes_structurally_sound(topo, seed):
+    ug = UGALRouting(topo, seed=seed)
+    rng = random.Random(seed)
+    endpoints = topo.endpoint_routers()
+    for _ in range(8):
+        s = endpoints[rng.randrange(len(endpoints))]
+        d = endpoints[rng.randrange(len(endpoints))]
+        route = ug.route(s, d)
+        assert route.routers[0] == s and route.routers[-1] == d
+        for u, v in route.channels():
+            assert topo.is_edge(u, v)
+
+
+@given(TOPOLOGY_STRATEGY)
+@settings(max_examples=15, deadline=None)
+def test_linkload_conservation(topo):
+    """Total channel load equals total (flow x hops): nothing lost."""
+    if topo.num_nodes < 4:
+        return
+    pattern = ShiftTraffic(topo.num_nodes, topo.num_nodes // 2)
+    flows = list(permutation_flows(pattern.destinations))
+    loads = channel_loads_minimal(topo, flows)
+    mp = MinimalPaths(topo)
+    expected = 0.0
+    for s, d, w in flows:
+        rs, rd = topo.router_of(s), topo.router_of(d)
+        if rs != rd:
+            expected += w * mp.distance(rs, rd)
+    assert sum(loads.values()) == pytest.approx(expected)
+
+
+@given(st.sampled_from([4, 5, 7]), st.integers(0, 1000))
+@settings(max_examples=10, deadline=None)
+def test_simulation_determinism(q, seed):
+    """Identical seeds produce identical simulations, bit for bit."""
+    from repro.sim import Network
+    from repro.traffic import UniformRandom
+
+    results = []
+    for _ in range(2):
+        topo = SlimFly(q)
+        net = Network(topo, MinimalRouting(topo, seed=seed))
+        stats = net.run_synthetic(
+            UniformRandom(topo.num_nodes), load=0.4,
+            warmup_ns=300, measure_ns=1200, seed=seed,
+        )
+        results.append(
+            (stats.throughput, stats.mean_latency_ns, stats.ejected_packets,
+             net.engine.events_executed)
+        )
+    assert results[0] == results[1]

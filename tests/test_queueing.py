@@ -1,0 +1,87 @@
+"""Tests for the analytic M/D/1 latency model (repro.analysis.queueing)."""
+
+import pytest
+
+from repro.analysis.queueing import md1_wait_ns, mean_minimal_hops, uniform_latency_model
+from repro.routing import MinimalRouting
+from repro.sim import Network, PAPER_CONFIG
+from repro.topology import MLFM, OFT, SlimFly
+from repro.traffic import UniformRandom
+
+
+class TestMD1:
+    def test_zero_load_no_wait(self):
+        assert md1_wait_ns(0.0, 20.48) == 0.0
+
+    def test_half_load(self):
+        # rho/(2(1-rho)) = 0.5 at rho = 0.5.
+        assert md1_wait_ns(0.5, 20.0) == pytest.approx(10.0)
+
+    def test_diverges_toward_saturation(self):
+        assert md1_wait_ns(0.99, 20.0) > md1_wait_ns(0.9, 20.0) > md1_wait_ns(0.5, 20.0)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            md1_wait_ns(1.0, 20.0)
+        with pytest.raises(ValueError):
+            md1_wait_ns(-0.1, 20.0)
+
+
+class TestMeanHops:
+    def test_diameter_two_bounds(self, sf5, mlfm4, oft4):
+        for topo in (sf5, mlfm4, oft4):
+            hops = mean_minimal_hops(topo)
+            assert 0.0 < hops <= 2.0
+
+    def test_mlfm_is_almost_two(self, mlfm4):
+        # Every inter-router MLFM route is exactly 2 hops; only the
+        # intra-router pairs pull the average below 2.
+        hops = mean_minimal_hops(mlfm4)
+        n, p = mlfm4.num_nodes, mlfm4.p
+        intra = mlfm4.num_local_routers * p * (p - 1)
+        total = n * (n - 1)
+        assert hops == pytest.approx(2.0 * (total - intra) / total)
+
+    def test_sf_below_two(self, sf5):
+        # Direct topology: adjacent-router pairs take 1 hop.
+        assert mean_minimal_hops(sf5) < 2.0
+
+    def test_sampling_close_to_exact(self, sf5):
+        exact = mean_minimal_hops(sf5)
+        sampled = mean_minimal_hops(sf5, samples=800, seed=1)
+        assert sampled == pytest.approx(exact, rel=0.1)
+
+
+class TestLatencyModel:
+    def test_zero_load_matches_config(self, mlfm4):
+        model = uniform_latency_model(mlfm4, 0.0)
+        # Nearly all pairs are 2 hops: zero-load close to the config's
+        # closed form for 2 hops.
+        assert model["total"] == pytest.approx(
+            PAPER_CONFIG.zero_load_latency_ns(model["mean_hops"]), rel=0.01
+        )
+        assert model["queueing"] == 0.0
+
+    def test_monotone_in_load(self, sf5):
+        lat = [uniform_latency_model(sf5, l)["total"] for l in (0.1, 0.5, 0.8)]
+        assert lat[0] < lat[1] < lat[2]
+
+    def test_rejects_saturated_load(self, sf5):
+        with pytest.raises(ValueError):
+            uniform_latency_model(sf5, 1.0)
+
+    def test_hops_override(self, sf5):
+        doubled = uniform_latency_model(sf5, 0.3, hops=4.0)
+        normal = uniform_latency_model(sf5, 0.3)
+        assert doubled["total"] > normal["total"]
+
+    @pytest.mark.parametrize("load", [0.2, 0.5, 0.7])
+    def test_matches_simulation_at_moderate_load(self, load):
+        topo = MLFM(4)
+        model = uniform_latency_model(topo, load)
+        net = Network(topo, MinimalRouting(topo, seed=1))
+        stats = net.run_synthetic(
+            UniformRandom(topo.num_nodes), load=load,
+            warmup_ns=2000, measure_ns=6000, seed=3,
+        )
+        assert stats.mean_latency_ns == pytest.approx(model["total"], rel=0.12)

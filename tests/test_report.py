@@ -1,0 +1,49 @@
+"""Tests for ASCII report rendering."""
+
+import pytest
+
+from repro.experiments.report import ascii_table, format_value, series_table
+
+
+class TestFormatValue:
+    def test_float_precision(self):
+        assert format_value(0.123456) == "0.123"
+        assert format_value(0.123456, precision=1) == "0.1"
+
+    def test_none_blank(self):
+        assert format_value(None) == ""
+
+    def test_bool_and_int(self):
+        assert format_value(True) == "True"
+        assert format_value(42) == "42"
+
+    def test_string_passthrough(self):
+        assert format_value("abc") == "abc"
+
+
+class TestAsciiTable:
+    def test_alignment(self):
+        out = ascii_table(["a", "long_header"], [[1, 2], [333, 4]])
+        lines = out.split("\n")
+        assert len({len(l) for l in lines}) == 1  # rectangular
+        assert "long_header" in lines[0]
+
+    def test_title(self):
+        out = ascii_table(["x"], [[1]], title="My Table")
+        assert out.startswith("My Table")
+
+    def test_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            ascii_table(["a", "b"], [[1]])
+
+    def test_empty_rows_ok(self):
+        out = ascii_table(["a"], [])
+        assert "a" in out
+
+
+class TestSeriesTable:
+    def test_shape(self):
+        out = series_table("load", [0.1, 0.2], {"thr": [0.1, 0.19], "lat": [100, 200]})
+        lines = out.split("\n")
+        assert len(lines) == 4  # header + separator + 2 rows
+        assert "thr" in lines[0] and "lat" in lines[0]

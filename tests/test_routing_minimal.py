@@ -1,0 +1,108 @@
+"""Tests for oblivious minimal routing (Sec. 3.1)."""
+
+import random
+
+import pytest
+
+from repro.routing import MinimalRouting, Route
+from repro.routing.base import ROUTE_MINIMAL
+
+
+class FakeCongestion:
+    """Congestion context with scripted queue lengths."""
+
+    def __init__(self, lengths):
+        self.lengths = lengths
+
+    def queue_len(self, router, neighbor):
+        return self.lengths.get((router, neighbor), 0)
+
+    def queue_capacity(self):
+        return 100
+
+
+class TestBasics:
+    def test_route_kind_and_vcs(self, sf5):
+        mr = MinimalRouting(sf5, seed=1)
+        r = mr.route(0, 40)
+        assert r.kind == ROUTE_MINIMAL
+        assert r.intermediate is None
+        assert len(r.vcs) == r.num_hops
+        assert r.vcs == tuple(range(r.num_hops))  # hop-indexed (SF)
+
+    def test_self_route(self, sf5):
+        mr = MinimalRouting(sf5, seed=1)
+        r = mr.route(4, 4)
+        assert r.routers == (4,) and r.vcs == ()
+
+    def test_adjacent_is_one_hop(self, sf5):
+        mr = MinimalRouting(sf5, seed=1)
+        n = sf5.neighbors(0)[0]
+        assert mr.route(0, n).routers == (0, n)
+
+    def test_route_at_most_two_hops(self, sf5):
+        mr = MinimalRouting(sf5, seed=1)
+        for d in range(1, sf5.num_routers, 7):
+            assert mr.route(0, d).num_hops <= 2
+
+    def test_mlfm_always_two_hops(self, mlfm4):
+        mr = MinimalRouting(mlfm4, seed=1)
+        eps = mlfm4.endpoint_routers()
+        for d in eps[1:]:
+            r = mr.route(eps[0], d)
+            assert r.num_hops == 2
+            assert not mlfm4.is_local(r.routers[1])  # via a GR
+
+    def test_mlfm_single_vc(self, mlfm4):
+        mr = MinimalRouting(mlfm4, seed=1)
+        assert mr.num_vcs == 1
+        r = mr.route(0, 7)
+        assert set(r.vcs) == {0}
+
+    def test_sf_two_vcs(self, sf5):
+        assert MinimalRouting(sf5, seed=1).num_vcs == 2
+
+    def test_num_vcs_oft(self, oft4):
+        assert MinimalRouting(oft4, seed=1).num_vcs == 1
+
+    def test_rejects_unknown_selection(self, sf5):
+        with pytest.raises(ValueError):
+            MinimalRouting(sf5, selection="magic")
+
+
+class TestSelection:
+    def test_random_selection_spreads(self, mlfm4):
+        # Same-column pairs have h distinct middles; random selection
+        # should eventually use several of them.
+        mr = MinimalRouting(mlfm4, selection="random", seed=3)
+        h = mlfm4.h
+        middles = {mr.route(0, h + 1).routers[1] for _ in range(100)}
+        assert len(middles) > 1
+
+    def test_best_selection_prefers_empty_queue(self, mlfm4):
+        mr = MinimalRouting(mlfm4, selection="best", seed=3)
+        h = mlfm4.h
+        candidates = mlfm4.common_neighbors(0, h + 1)
+        # Penalise all first hops except one.
+        lengths = {(0, m): 50 for m in candidates[1:]}
+        ctx = FakeCongestion(lengths)
+        for _ in range(10):
+            assert mr.route(0, h + 1, ctx).routers[1] == candidates[0]
+
+    def test_reproducible_with_seed(self, mlfm4):
+        a = MinimalRouting(mlfm4, seed=42)
+        b = MinimalRouting(mlfm4, seed=42)
+        h = mlfm4.h
+        for _ in range(20):
+            assert a.route(0, h + 1).routers == b.route(0, h + 1).routers
+
+
+class TestRouteDataclass:
+    def test_vc_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Route(routers=(0, 1, 2), vcs=(0,))
+
+    def test_channels(self):
+        r = Route(routers=(0, 5, 9), vcs=(0, 1))
+        assert r.channels() == ((0, 5), (5, 9))
+        assert r.num_hops == 2

@@ -1,0 +1,117 @@
+"""Tests for UGAL-L adaptive routing (Sec. 3.3)."""
+
+import pytest
+
+from repro.routing import UGALRouting
+from repro.routing.base import ROUTE_INDIRECT, ROUTE_MINIMAL
+
+
+class FakeCongestion:
+    def __init__(self, default=0, lengths=None, capacity=100):
+        self.default = default
+        self.lengths = lengths or {}
+        self.capacity = capacity
+
+    def queue_len(self, router, neighbor):
+        return self.lengths.get((router, neighbor), self.default)
+
+    def queue_capacity(self):
+        return self.capacity
+
+
+class TestParameterValidation:
+    def test_rejects_bad_cost_mode(self, sf5):
+        with pytest.raises(ValueError):
+            UGALRouting(sf5, cost_mode="global")
+
+    def test_rejects_bad_ni(self, sf5):
+        with pytest.raises(ValueError):
+            UGALRouting(sf5, num_indirect=0)
+
+    def test_rejects_bad_threshold(self, sf5):
+        with pytest.raises(ValueError):
+            UGALRouting(sf5, threshold=1.5)
+
+    def test_name_reflects_variant(self, sf5):
+        assert UGALRouting(sf5).name == "UGAL-A"
+        assert UGALRouting(sf5, threshold=0.1).name == "UGAL-ATh"
+
+    def test_describe(self, sf5, mlfm4):
+        s = UGALRouting(sf5, cost_mode="sf", c_sf=1.0, num_indirect=4).describe()
+        assert "cSF=1" in s and "nI=4" in s
+        s = UGALRouting(mlfm4, c=2.0, num_indirect=5, threshold=0.1).describe()
+        assert "c=2" in s and "T=10%" in s
+
+
+class TestDecisions:
+    def test_idle_network_routes_minimally(self, sf5):
+        ug = UGALRouting(sf5, cost_mode="sf", seed=1)
+        for d in range(1, 40, 3):
+            assert ug.route(0, d).kind == ROUTE_MINIMAL
+
+    def test_self_route(self, sf5):
+        ug = UGALRouting(sf5, seed=1)
+        assert ug.route(6, 6).routers == (6,)
+
+    def test_congested_minimal_goes_indirect(self, mlfm4):
+        ug = UGALRouting(mlfm4, c=1.0, num_indirect=8, seed=1)
+        # Cross-column pair: single minimal path through one GR.
+        src, dst = 0, 7
+        middle = mlfm4.common_neighbors(src, dst)[0]
+        ctx = FakeCongestion(default=0, lengths={(src, middle): 50})
+        kinds = {ug.route(src, dst, ctx).kind for _ in range(20)}
+        assert ROUTE_INDIRECT in kinds
+
+    def test_high_penalty_keeps_minimal(self, mlfm4):
+        ug = UGALRouting(mlfm4, c=1000.0, num_indirect=4, seed=1)
+        src, dst = 0, 7
+        middle = mlfm4.common_neighbors(src, dst)[0]
+        # Minimal queue 5, all others 1: cost 5 < 1000*1.
+        ctx = FakeCongestion(default=1, lengths={(src, middle): 5})
+        for _ in range(20):
+            assert ug.route(src, dst, ctx).kind == ROUTE_MINIMAL
+
+    def test_tie_prefers_minimal(self, mlfm4):
+        ug = UGALRouting(mlfm4, c=1.0, num_indirect=4, seed=1)
+        ctx = FakeCongestion(default=3)  # all queues equal
+        for _ in range(20):
+            assert ug.route(0, 7, ctx).kind == ROUTE_MINIMAL
+
+    def test_threshold_forces_minimal_below_t(self, mlfm4):
+        ug = UGALRouting(mlfm4, c=0.001, num_indirect=8, threshold=0.10, seed=1)
+        src, dst = 0, 7
+        middle = mlfm4.common_neighbors(src, dst)[0]
+        # q_M = 5 < 10 (10% of 100): threshold short-circuits even though
+        # the adaptive comparison would pick an indirect route.
+        ctx = FakeCongestion(default=0, lengths={(src, middle): 5}, capacity=100)
+        for _ in range(20):
+            assert ug.route(src, dst, ctx).kind == ROUTE_MINIMAL
+
+    def test_threshold_allows_adaptive_above_t(self, mlfm4):
+        ug = UGALRouting(mlfm4, c=1.0, num_indirect=8, threshold=0.10, seed=1)
+        src, dst = 0, 7
+        middle = mlfm4.common_neighbors(src, dst)[0]
+        ctx = FakeCongestion(default=0, lengths={(src, middle): 50}, capacity=100)
+        kinds = {ug.route(src, dst, ctx).kind for _ in range(20)}
+        assert ROUTE_INDIRECT in kinds
+
+    def test_sf_cost_scales_with_length_ratio(self, sf5):
+        # With cSF high, longer indirect paths are penalised away even
+        # under minimal congestion.
+        ug = UGALRouting(sf5, cost_mode="sf", c_sf=50.0, num_indirect=8, seed=1)
+        n = sf5.neighbors(0)[0]
+        ctx = FakeCongestion(default=1, lengths={(0, n): 3})
+        for _ in range(20):
+            assert ug.route(0, n, ctx).kind == ROUTE_MINIMAL
+
+    def test_vc_count_covers_indirect(self, sf5, mlfm4, oft4):
+        assert UGALRouting(sf5).num_vcs == 4
+        assert UGALRouting(mlfm4).num_vcs == 2
+        assert UGALRouting(oft4).num_vcs == 2
+
+    def test_reproducible(self, sf5):
+        a = UGALRouting(sf5, cost_mode="sf", seed=9)
+        b = UGALRouting(sf5, cost_mode="sf", seed=9)
+        ctx = FakeCongestion(default=2)
+        for d in range(1, 30, 3):
+            assert a.route(0, d, ctx).routers == b.route(0, d, ctx).routers

@@ -1,0 +1,226 @@
+"""Integration tests of the network simulator (Sec. 4.1 substrate).
+
+These exercise full packet lifecycles: conservation, latency floors,
+throughput ceilings, backpressure, VC provisioning and the congestion
+interface used by UGAL-L.
+"""
+
+import pytest
+
+from repro.routing import IndirectRandomRouting, MinimalRouting, UGALRouting
+from repro.sim import Network, PAPER_CONFIG, SimConfig
+from repro.topology import MLFM, OFT, SlimFly
+from repro.traffic import ShiftTraffic, UniformRandom
+
+
+@pytest.fixture(scope="module")
+def sf4():
+    return SlimFly(4)
+
+
+class TestWiring:
+    def test_vc_count_follows_routing(self, sf4):
+        assert Network(sf4, MinimalRouting(sf4)).num_vcs == 2
+        assert Network(sf4, IndirectRandomRouting(sf4)).num_vcs == 4
+
+    def test_router_and_nic_counts(self, sf4):
+        net = Network(sf4, MinimalRouting(sf4))
+        assert len(net.routers) == sf4.num_routers
+        assert len(net.nics) == sf4.num_nodes
+
+    def test_output_ports_cover_neighbors_and_nodes(self, sf4):
+        net = Network(sf4, MinimalRouting(sf4))
+        for r in range(sf4.num_routers):
+            assert len(net.routers[r].out) == sf4.degree(r) + sf4.nodes_attached(r)
+
+    def test_congestion_interface(self, sf4):
+        net = Network(sf4, MinimalRouting(sf4))
+        n = sf4.neighbors(0)[0]
+        assert net.queue_len(0, n) == 0
+        assert net.queue_capacity() == PAPER_CONFIG.buffer_packets_per_port
+
+
+class TestConservation:
+    @pytest.mark.parametrize("load", [0.3, 0.8])
+    def test_every_packet_delivered_once(self, sf4, load):
+        net = Network(sf4, MinimalRouting(sf4, seed=1))
+        net.run_synthetic(
+            UniformRandom(sf4.num_nodes), load=load,
+            warmup_ns=500, measure_ns=2000, seed=7, drain=True,
+        )
+        assert net.stats.injected_total == net.stats.ejected_total
+        assert net.stats.injected_total > 0
+
+    def test_conservation_under_indirect(self, sf4):
+        net = Network(sf4, IndirectRandomRouting(sf4, seed=1))
+        net.run_synthetic(
+            UniformRandom(sf4.num_nodes), load=0.4,
+            warmup_ns=500, measure_ns=2000, seed=7, drain=True,
+        )
+        assert net.stats.injected_total == net.stats.ejected_total
+
+    def test_conservation_mlfm_ugal(self, mlfm4):
+        net = Network(mlfm4, UGALRouting(mlfm4, seed=1))
+        net.run_synthetic(
+            UniformRandom(mlfm4.num_nodes), load=0.6,
+            warmup_ns=500, measure_ns=2000, seed=7, drain=True,
+        )
+        assert net.stats.injected_total == net.stats.ejected_total
+
+
+class TestLatency:
+    def test_latency_at_least_zero_load(self, sf4):
+        net = Network(sf4, MinimalRouting(sf4, seed=1))
+        stats = net.run_synthetic(
+            UniformRandom(sf4.num_nodes), load=0.05,
+            warmup_ns=500, measure_ns=3000, seed=7,
+        )
+        floor = PAPER_CONFIG.zero_load_latency_ns(1)  # >= 1-hop minimum
+        assert stats.mean_latency_ns is not None
+        assert stats.mean_latency_ns >= floor * 0.99
+
+    def test_latency_increases_with_load(self, sf4):
+        lats = []
+        for load in (0.1, 0.9):
+            net = Network(sf4, MinimalRouting(sf4, seed=1))
+            stats = net.run_synthetic(
+                UniformRandom(sf4.num_nodes), load=load,
+                warmup_ns=500, measure_ns=3000, seed=7,
+            )
+            lats.append(stats.mean_latency_ns)
+        assert lats[1] > lats[0]
+
+    def test_intra_router_latency_has_no_network_hops(self, sf4):
+        # Shift by 1 within a router (p = 6 for q = 4): one router
+        # traversal only.
+        assert sf4.p >= 2
+        net = Network(sf4, MinimalRouting(sf4, seed=1))
+        stats = net.run_synthetic(
+            ShiftTraffic(sf4.num_nodes, 1), load=0.1,
+            warmup_ns=500, measure_ns=2000, seed=7,
+        )
+        # Many destinations are on the same router; mean latency must
+        # sit well below the 2-hop zero-load latency.
+        assert stats.mean_latency_ns < PAPER_CONFIG.zero_load_latency_ns(2)
+
+
+class TestThroughput:
+    def test_throughput_matches_offered_below_saturation(self, sf4):
+        net = Network(sf4, MinimalRouting(sf4, seed=1))
+        stats = net.run_synthetic(
+            UniformRandom(sf4.num_nodes), load=0.4,
+            warmup_ns=1000, measure_ns=4000, seed=7,
+        )
+        assert stats.throughput == pytest.approx(0.4, rel=0.08)
+
+    def test_throughput_never_exceeds_one(self, sf4):
+        net = Network(sf4, MinimalRouting(sf4, seed=1))
+        stats = net.run_synthetic(
+            UniformRandom(sf4.num_nodes), load=1.0,
+            warmup_ns=1000, measure_ns=4000, seed=7,
+        )
+        assert stats.throughput <= 1.0
+
+    def test_deterministic_arrival_process(self, sf4):
+        net = Network(sf4, MinimalRouting(sf4, seed=1))
+        stats = net.run_synthetic(
+            UniformRandom(sf4.num_nodes), load=0.5,
+            warmup_ns=1000, measure_ns=3000, seed=7, arrival="deterministic",
+        )
+        assert stats.throughput == pytest.approx(0.5, rel=0.08)
+
+    def test_rejects_bad_load(self, sf4):
+        net = Network(sf4, MinimalRouting(sf4))
+        with pytest.raises(ValueError):
+            net.run_synthetic(UniformRandom(sf4.num_nodes), load=0.0)
+        with pytest.raises(ValueError):
+            net.run_synthetic(UniformRandom(sf4.num_nodes), load=1.5)
+
+    def test_rejects_bad_arrival(self, sf4):
+        net = Network(sf4, MinimalRouting(sf4))
+        with pytest.raises(ValueError):
+            net.run_synthetic(UniformRandom(sf4.num_nodes), load=0.5, arrival="bursty")
+
+
+class TestSelfTrafficGuard:
+    def test_pattern_self_destination_rejected(self, sf4):
+        class Bad:
+            def pick_destination(self, src, rng):
+                return src
+
+        net = Network(sf4, MinimalRouting(sf4))
+        with pytest.raises(ValueError):
+            net.run_synthetic(Bad(), load=0.5, warmup_ns=100, measure_ns=500)
+
+
+class TestExchanges:
+    def test_small_exchange_completes(self, mlfm4):
+        from repro.traffic import AllToAll
+
+        net = Network(mlfm4, MinimalRouting(mlfm4, seed=1))
+        res = net.run_exchange(AllToAll(mlfm4.num_nodes, message_bytes=256))
+        assert res["packets"] == mlfm4.num_nodes * (mlfm4.num_nodes - 1)
+        assert 0 < res["effective_throughput"] <= 1.0
+
+    def test_exchange_with_no_traffic_rejected(self, mlfm4):
+        class Empty:
+            def node_messages(self, node):
+                return []
+
+        net = Network(mlfm4, MinimalRouting(mlfm4))
+        with pytest.raises(ValueError):
+            net.run_exchange(Empty())
+
+    def test_event_budget_detects_incompleteness(self, mlfm4):
+        from repro.traffic import AllToAll
+
+        net = Network(mlfm4, MinimalRouting(mlfm4, seed=1))
+        with pytest.raises(RuntimeError):
+            net.run_exchange(AllToAll(mlfm4.num_nodes, message_bytes=256), max_events=100)
+
+    def test_interleaved_exchange_completes(self, mlfm4):
+        from repro.traffic import NearestNeighbor3D
+
+        nn = NearestNeighbor3D(mlfm4.num_nodes, message_bytes=512, dims=(4, 5, 4))
+        net = Network(mlfm4, MinimalRouting(mlfm4, seed=1))
+        res = net.run_exchange(nn)
+        assert res["total_bytes"] == nn.total_bytes
+
+
+class TestCustomConfig:
+    def test_smaller_packets(self, sf4):
+        cfg = SimConfig(packet_bytes=128)
+        net = Network(sf4, MinimalRouting(sf4, seed=1), cfg)
+        stats = net.run_synthetic(
+            UniformRandom(sf4.num_nodes), load=0.5,
+            warmup_ns=500, measure_ns=2000, seed=7,
+        )
+        assert stats.throughput == pytest.approx(0.5, rel=0.1)
+
+    def test_tiny_buffers_still_conserve(self, sf4):
+        cfg = SimConfig(buffer_bytes_per_port=1024)  # 4 packets/port
+        net = Network(sf4, MinimalRouting(sf4, seed=1), cfg)
+        net.run_synthetic(
+            UniformRandom(sf4.num_nodes), load=0.8,
+            warmup_ns=500, measure_ns=2000, seed=7, drain=True,
+        )
+        assert net.stats.injected_total == net.stats.ejected_total
+
+
+class TestSingleUse:
+    def test_second_run_rejected(self, sf4):
+        net = Network(sf4, MinimalRouting(sf4, seed=1))
+        net.run_synthetic(UniformRandom(sf4.num_nodes), load=0.2,
+                          warmup_ns=200, measure_ns=600, seed=3)
+        with pytest.raises(RuntimeError):
+            net.run_synthetic(UniformRandom(sf4.num_nodes), load=0.2,
+                              warmup_ns=200, measure_ns=600, seed=3)
+
+    def test_exchange_after_synthetic_rejected(self, sf4):
+        from repro.traffic import AllToAll
+
+        net = Network(sf4, MinimalRouting(sf4, seed=1))
+        net.run_synthetic(UniformRandom(sf4.num_nodes), load=0.2,
+                          warmup_ns=200, measure_ns=600, seed=3)
+        with pytest.raises(RuntimeError):
+            net.run_exchange(AllToAll(sf4.num_nodes, message_bytes=256))

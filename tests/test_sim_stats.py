@@ -1,0 +1,161 @@
+"""Unit tests for the statistics collector."""
+
+import pytest
+
+from repro.sim.config import PAPER_CONFIG
+from repro.sim.packet import Packet
+from repro.sim.stats import StatsCollector
+
+
+def make_packet(pid, src=0, dst=1, size=256, gen=0.0):
+    return Packet(
+        pid=pid, src_node=src, dst_node=dst, size=size,
+        routers=(0, 1), ports=(0, 0), vcs=(0,), kind="minimal", gen_time=gen,
+    )
+
+
+class TestWindowing:
+    def test_only_window_ejections_counted(self):
+        sc = StatsCollector(4, PAPER_CONFIG)
+        sc.set_window(100.0, 200.0)
+        early = make_packet(1)
+        early.send_time = 0.0
+        early.eject_time = 50.0
+        sc.record_inject(early)
+        sc.record_eject(early)
+        inside = make_packet(2)
+        inside.send_time = 110.0
+        inside.eject_time = 150.0
+        sc.record_inject(inside)
+        sc.record_eject(inside)
+        late = make_packet(3)
+        late.send_time = 210.0
+        late.eject_time = 260.0
+        sc.record_inject(late)
+        sc.record_eject(late)
+        assert sc.in_window_ejected == 1
+        assert sc.in_window_injected == 1
+        assert sc.ejected_total == 3
+
+    def test_throughput_normalisation(self):
+        sc = StatsCollector(2, PAPER_CONFIG)
+        sc.set_window(0.0, 100.0)
+        # Capacity: 2 nodes * 100ns * 12.5 B/ns = 2500 B.
+        p = make_packet(1, size=250)
+        p.send_time = 1.0
+        p.eject_time = 50.0
+        sc.record_inject(p)
+        sc.record_eject(p)
+        stats = sc.window_stats()
+        assert stats.throughput == pytest.approx(0.1)
+
+    def test_latency_from_generation(self):
+        sc = StatsCollector(2, PAPER_CONFIG)
+        sc.set_window(0.0, 100.0)
+        p = make_packet(1, gen=10.0)
+        p.send_time = 20.0
+        p.eject_time = 60.0
+        sc.record_inject(p)
+        sc.record_eject(p)
+        assert sc.window_stats().mean_latency_ns == pytest.approx(50.0)
+
+    def test_unbounded_window_rejected_for_window_stats(self):
+        sc = StatsCollector(2, PAPER_CONFIG)
+        sc.set_window(0.0, None)
+        with pytest.raises(ValueError):
+            sc.window_stats()
+
+    def test_kind_counts(self):
+        sc = StatsCollector(2, PAPER_CONFIG)
+        sc.set_window(0.0, 100.0)
+        for pid, kind in ((1, "minimal"), (2, "minimal"), (3, "indirect")):
+            p = make_packet(pid)
+            p.kind = kind
+            p.send_time = 1.0
+            p.eject_time = 10.0
+            sc.record_inject(p)
+            sc.record_eject(p)
+        assert sc.window_stats().kind_counts == {"minimal": 2, "indirect": 1}
+
+
+class TestEffectiveThroughput:
+    def test_simple_case(self):
+        sc = StatsCollector(2, PAPER_CONFIG)
+        sc.set_window(0.0, None)
+        p = make_packet(1, size=2500)
+        p.send_time = 0.0
+        p.eject_time = 100.0
+        sc.record_inject(p)
+        sc.record_eject(p)
+        # 2500 B / (100 ns * 2 nodes * 12.5 B/ns) = 1.0.
+        assert sc.effective_throughput(2500) == pytest.approx(1.0)
+
+    def test_no_traffic_rejected(self):
+        sc = StatsCollector(2, PAPER_CONFIG)
+        with pytest.raises(ValueError):
+            sc.effective_throughput(100)
+
+    def test_reset_clears(self):
+        sc = StatsCollector(2, PAPER_CONFIG)
+        sc.set_window(0.0, 100.0)
+        p = make_packet(1)
+        p.send_time = 1.0
+        p.eject_time = 2.0
+        sc.record_inject(p)
+        sc.record_eject(p)
+        sc.reset()
+        assert sc.injected_total == 0
+        assert sc.ejected_total == 0
+        assert sc.first_inject is None
+
+
+class TestPacket:
+    def test_num_hops(self):
+        p = make_packet(1)
+        assert p.num_hops == 1
+
+    def test_repr_smoke(self):
+        assert "Packet" in repr(make_packet(1))
+
+
+class TestFairnessIndex:
+    def test_perfectly_even(self):
+        sc = StatsCollector(4, PAPER_CONFIG)
+        sc.set_window(0.0, 100.0)
+        for pid in range(8):
+            p = make_packet(pid, dst=pid % 4)
+            p.send_time = 1.0
+            p.eject_time = 2.0
+            sc.record_inject(p)
+            sc.record_eject(p)
+        assert sc.fairness_index() == pytest.approx(1.0)
+
+    def test_single_receiver(self):
+        sc = StatsCollector(4, PAPER_CONFIG)
+        sc.set_window(0.0, 100.0)
+        for pid in range(8):
+            p = make_packet(pid, dst=2)
+            p.send_time = 1.0
+            p.eject_time = 2.0
+            sc.record_inject(p)
+            sc.record_eject(p)
+        assert sc.fairness_index() == pytest.approx(0.25)
+
+    def test_no_traffic_rejected(self):
+        sc = StatsCollector(4, PAPER_CONFIG)
+        with pytest.raises(ValueError):
+            sc.fairness_index()
+
+    def test_uniform_simulation_fair(self):
+        from repro.routing import MinimalRouting
+        from repro.sim import Network
+        from repro.topology import SlimFly
+        from repro.traffic import UniformRandom
+
+        topo = SlimFly(4)
+        net = Network(topo, MinimalRouting(topo, seed=1))
+        net.run_synthetic(
+            UniformRandom(topo.num_nodes), load=0.5,
+            warmup_ns=1000, measure_ns=4000, seed=3, drain=True,
+        )
+        assert net.stats.fairness_index() > 0.95

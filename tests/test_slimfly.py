@@ -1,0 +1,171 @@
+"""Unit and property tests for the Slim Fly construction (Sec. 2.1.2)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.maths.galois import get_field
+from repro.topology import SlimFly, slim_fly_delta, slim_fly_generator_sets, valid_slim_fly_q
+from repro.topology.validate import validate_topology
+
+QS = [4, 5, 7, 8, 9, 11]
+
+
+class TestParameters:
+    def test_delta_values(self):
+        assert slim_fly_delta(5) == 1
+        assert slim_fly_delta(13) == 1
+        assert slim_fly_delta(7) == -1
+        assert slim_fly_delta(11) == -1
+        assert slim_fly_delta(4) == 0
+        assert slim_fly_delta(8) == 0
+
+    def test_rejects_q_mod4_eq_2(self):
+        with pytest.raises(ValueError):
+            slim_fly_delta(2)
+
+    def test_rejects_non_prime_power(self):
+        with pytest.raises(ValueError):
+            slim_fly_delta(15)
+        with pytest.raises(ValueError):
+            slim_fly_delta(12)
+
+    def test_valid_q_predicate(self):
+        assert valid_slim_fly_q(5)
+        assert valid_slim_fly_q(9)
+        assert not valid_slim_fly_q(6)
+        assert not valid_slim_fly_q(2)
+
+
+class TestGeneratorSets:
+    @pytest.mark.parametrize("q", QS)
+    def test_sizes(self, q):
+        x_set, xp_set = slim_fly_generator_sets(q)
+        expected = (q - slim_fly_delta(q)) // 2
+        assert len(x_set) == expected
+        assert len(xp_set) == expected
+
+    @pytest.mark.parametrize("q", QS)
+    def test_symmetry(self, q):
+        field = get_field(q)
+        for s in slim_fly_generator_sets(q):
+            assert {field.neg(v) for v in s} == s
+
+    @pytest.mark.parametrize("q", QS)
+    def test_no_zero(self, q):
+        x_set, xp_set = slim_fly_generator_sets(q)
+        assert 0 not in x_set and 0 not in xp_set
+
+    def test_delta1_sets_are_qr_split(self):
+        # For q = 13 (delta = +1), X is the quadratic residues.
+        q = 13
+        field = get_field(q)
+        x_set, xp_set = slim_fly_generator_sets(q)
+        qrs = {field.mul(a, a) for a in range(1, q)}
+        assert x_set == qrs
+        assert xp_set == set(range(1, q)) - qrs
+
+
+class TestStructure:
+    @pytest.mark.parametrize("q", QS)
+    def test_router_count(self, q):
+        assert SlimFly(q).num_routers == 2 * q * q
+
+    @pytest.mark.parametrize("q", QS)
+    def test_uniform_network_degree(self, q):
+        sf = SlimFly(q)
+        expected = (3 * q - slim_fly_delta(q)) // 2
+        assert all(sf.degree(r) == expected for r in range(sf.num_routers))
+        assert sf.network_radix == expected
+
+    @pytest.mark.parametrize("q", QS)
+    def test_diameter_two(self, q):
+        assert SlimFly(q).diameter() == 2
+
+    @pytest.mark.parametrize("q", [5, 7, 8, 9])
+    def test_validates(self, q):
+        report = validate_topology(SlimFly(q))
+        assert report.ok, report.problems
+
+    def test_coords_roundtrip(self, sf5):
+        for r in range(sf5.num_routers):
+            s, a, b = sf5.coords(r)
+            assert sf5.router_id(s, a, b) == r
+
+    def test_morphology_order(self, sf5):
+        # Router (s, a, b) must have id s*q^2 + a*q + b (Sec. 4.4 order).
+        q = sf5.q
+        assert sf5.coords(0) == (0, 0, 0)
+        assert sf5.coords(q) == (0, 1, 0)
+        assert sf5.coords(q * q) == (1, 0, 0)
+
+    def test_intra_column_edges_use_x_set(self, sf5):
+        field = sf5.field
+        x_set = set(sf5.generator_sets[0])
+        for r in range(sf5.num_routers):
+            s, a, b = sf5.coords(r)
+            if s != 0:
+                continue
+            for n in sf5.neighbors(r):
+                s2, a2, b2 = sf5.coords(n)
+                if s2 == 0:
+                    assert a2 == a, "subgraph-0 intra links stay in a column"
+                    assert field.sub(b, b2) in x_set
+
+    def test_inter_subgraph_edges_satisfy_line_equation(self, sf5):
+        field = sf5.field
+        for r in range(sf5.num_routers):
+            s, x, y = sf5.coords(r)
+            if s != 0:
+                continue
+            inter = [sf5.coords(n) for n in sf5.neighbors(r) if sf5.coords(n)[0] == 1]
+            assert len(inter) == sf5.q  # one per column of subgraph 1
+            for _, m, c in inter:
+                assert y == field.add(field.mul(m, x), c)
+
+
+class TestEndpoints:
+    def test_floor_vs_ceil(self):
+        floor = SlimFly(5, "floor")
+        ceil = SlimFly(5, "ceil")
+        assert floor.p == 3 and ceil.p == 4  # r' = 7
+        assert ceil.num_nodes - floor.num_nodes == floor.num_routers
+
+    def test_explicit_p(self):
+        sf = SlimFly(5, 2)
+        assert sf.p == 2 and sf.num_nodes == 100
+
+    def test_rejects_negative_p(self):
+        with pytest.raises(ValueError):
+            SlimFly(5, -1)
+
+    def test_paper_configuration_q13(self):
+        # The exact configurations of Sec. 4.1.
+        floor = SlimFly(13, "floor")
+        assert (floor.num_nodes, floor.num_routers, floor.max_radix()) == (3042, 338, 28)
+        ceil = SlimFly(13, "ceil")
+        assert (ceil.num_nodes, ceil.num_routers, ceil.max_radix()) == (3380, 338, 29)
+
+    def test_valiant_intermediates_all_routers(self, sf5):
+        assert sf5.valiant_intermediates() == list(range(sf5.num_routers))
+
+    def test_cost_rounding_example_q13(self):
+        # Sec. 2.1.2's example: p=10 -> 2.9 ports/1.95 links; p=9 -> 3.11/2.05.
+        ceil = SlimFly(13, "ceil")
+        assert ceil.ports_per_node() == pytest.approx(2.9, abs=0.01)
+        assert ceil.links_per_node() == pytest.approx(1.95, abs=0.01)
+        floor = SlimFly(13, "floor")
+        assert floor.ports_per_node() == pytest.approx(3.11, abs=0.01)
+        assert floor.links_per_node() == pytest.approx(2.05, abs=0.01)
+
+
+@given(st.sampled_from([4, 5, 7, 8, 9]))
+@settings(max_examples=10, deadline=None)
+def test_property_every_noncadjacent_pair_has_common_neighbor(q):
+    sf = SlimFly(q)
+    # Sampled pairs: all pairs is O(R^2); take a stride.
+    stride = max(1, sf.num_routers // 17)
+    for a in range(0, sf.num_routers, stride):
+        for b in range(0, sf.num_routers, stride + 1):
+            if a == b:
+                continue
+            assert sf.is_edge(a, b) or sf.common_neighbors(a, b)

@@ -1,0 +1,78 @@
+"""Tests for the spectral analysis of router graphs."""
+
+import math
+
+import pytest
+
+from repro.analysis.spectral import spectral_stats
+from repro.topology import MLFM, OFT, FatTree2L, HyperX2D, SlimFly
+from repro.topology.base import Topology
+
+
+class TestBasics:
+    def test_regular_perron_is_degree(self, sf5):
+        s = spectral_stats(sf5)
+        assert s.degree == pytest.approx(sf5.network_radix)
+
+    def test_complete_graph_spectrum(self):
+        # K4: eigenvalues {3, -1, -1, -1}.
+        k4 = Topology("k4", [[1, 2, 3], [0, 2, 3], [0, 1, 3], [0, 1, 2]], [1] * 4)
+        s = spectral_stats(k4)
+        assert s.degree == pytest.approx(3.0)
+        assert s.lambda2 == pytest.approx(-1.0)
+        assert s.spectral_gap == pytest.approx(4.0)
+
+    def test_cheeger_bounds_ordered(self, mlfm4):
+        s = spectral_stats(mlfm4)
+        assert 0 <= s.cheeger_lower <= s.cheeger_upper
+
+    def test_cycle_graph_small_gap(self):
+        n = 12
+        cyc = Topology(
+            "c12", [[(i - 1) % n, (i + 1) % n] for i in range(n)], [1] * n
+        )
+        s = spectral_stats(cyc)
+        # Cycles are poor expanders: gap = 2 - 2cos(2 pi / n).
+        assert s.spectral_gap == pytest.approx(2 - 2 * math.cos(2 * math.pi / n), abs=1e-6)
+
+
+class TestPaperTopologies:
+    def test_slim_fly_is_ramanujan(self):
+        # MMS graphs are near-Ramanujan; at these sizes they pass the
+        # exact bound |lambda| <= 2 sqrt(d-1).
+        for q in (5, 7, 9, 13):
+            s = spectral_stats(SlimFly(q))
+            assert s.is_ramanujan, (q, s)
+
+    def test_sf_known_second_eigenvalue(self):
+        # The MMS spectrum is {d, (-1 + sqrt(2q - delta_adjust))/2 ...};
+        # empirically lambda2 = (q - 1) / 2 for delta = +1 instances.
+        for q in (5, 13):
+            s = spectral_stats(SlimFly(q))
+            assert s.lambda2 == pytest.approx((q - 1) / 2, abs=1e-6)
+
+    def test_indirect_topologies_bipartite(self, mlfm4, oft4, ft2):
+        for topo in (mlfm4, oft4, ft2):
+            assert spectral_stats(topo).bipartite
+
+    def test_direct_topologies_not_bipartite(self, sf5, hyperx):
+        for topo in (sf5, hyperx):
+            assert not spectral_stats(topo).bipartite
+
+    def test_ft2_perfect_gap(self, ft2):
+        # Complete bipartite K(r, r/2): nontrivial eigenvalues all 0.
+        s = spectral_stats(ft2)
+        assert s.lambda2 == pytest.approx(0.0, abs=1e-9)
+
+    def test_hyperx_product_spectrum(self, hyperx):
+        # Cartesian product of two K4: eigenvalues are sums of
+        # {3, -1} + {3, -1} -> lambda2 = 3 - 1 = 2.
+        s = spectral_stats(hyperx)
+        assert s.lambda2 == pytest.approx(2.0, abs=1e-9)
+
+    def test_gap_orders_expanders(self):
+        # Relative to the degree, the SF keeps a much larger gap than
+        # the same-degree-scale MLFM (expander vs stacked structure).
+        sf = spectral_stats(SlimFly(5))
+        mlfm = spectral_stats(MLFM(5))
+        assert sf.spectral_gap / sf.degree > mlfm.spectral_gap / mlfm.degree

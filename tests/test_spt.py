@@ -1,0 +1,137 @@
+"""Tests for the generic SPT/SSPT class (Sec. 2.2.2) -- including the
+isomorphism proofs that MLFM and OFT are SSPT instances."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.topology import MLFM, OFT, SSPT, spt_incidence, verify_spt_incidence
+from repro.topology.base import LINK_DOWN, LINK_UP
+from repro.topology.validate import validate_topology
+
+
+class TestIncidence:
+    @pytest.mark.parametrize("r1,r2", [(3, 2), (4, 2), (5, 2), (7, 2), (4, 4), (6, 6), (8, 8)])
+    def test_valid_constructions(self, r1, r2):
+        table = spt_incidence(r1, r2)
+        assert verify_spt_incidence(table, r1, r2) == []
+
+    def test_shape(self):
+        table = spt_incidence(5, 2)
+        assert table.shape == (6, 5)  # R1 = 1 + 5*1
+        table = spt_incidence(4, 4)
+        assert table.shape == (13, 4)  # R1 = 1 + 4*3
+
+    def test_rejects_unknown_construction(self):
+        with pytest.raises(ValueError):
+            spt_incidence(4, 8)  # r2 not in {2, r1}
+        with pytest.raises(ValueError):
+            spt_incidence(7, 7)  # r1 - 1 = 6 not a prime power
+
+    def test_rejects_tiny_radix(self):
+        with pytest.raises(ValueError):
+            spt_incidence(1, 2)
+
+    def test_verifier_detects_corruption(self):
+        table = spt_incidence(4, 4).copy()
+        a, b = int(table[1, 1]), int(table[4, 2])
+        table[1, 1], table[4, 2] = b, a
+        assert verify_spt_incidence(table, 4, 4)
+
+    def test_verifier_detects_bad_shape(self):
+        assert verify_spt_incidence(np.zeros((3, 3), dtype=int), 4, 4)
+
+
+class TestSSPTStructure:
+    def test_counts_match_formula(self):
+        for r1, r2 in ((4, 2), (5, 2), (4, 4), (6, 6)):
+            s = SSPT(r1, r2)
+            assert s.num_nodes == SSPT.expected_num_nodes(r1, r2)
+
+    def test_uniform_radix_2r1(self):
+        s = SSPT(5, 2)
+        assert {s.radix(r) for r in range(s.num_routers)} == {10}
+
+    def test_cost_3_and_2(self):
+        s = SSPT(4, 4)
+        assert s.ports_per_node() == pytest.approx(3.0)
+        assert s.links_per_node() == pytest.approx(2.0)
+
+    def test_validates(self):
+        for r1, r2 in ((4, 2), (4, 4)):
+            report = validate_topology(SSPT(r1, r2))
+            assert report.ok, report.problems
+
+    def test_rejects_non_dividing_r2(self):
+        with pytest.raises(ValueError):
+            SSPT(4, 3)
+
+    def test_rejects_negative_p(self):
+        with pytest.raises(ValueError):
+            SSPT(4, 2, p=-1)
+
+    def test_copies(self):
+        assert SSPT(5, 2).copies == 5  # MLFM: h layers
+        assert SSPT(4, 4).copies == 2  # OFT: two stacked SPTs
+
+    def test_copy_indexing(self):
+        s = SSPT(4, 2)
+        lpc = s.leaves_per_copy
+        assert s.copy_of(0) == 0 and s.copy_of(lpc) == 1
+        assert s.index_in_copy(lpc + 2) == 2
+        with pytest.raises(ValueError):
+            s.copy_of(s.num_bottom)  # top router
+
+    def test_counterparts_have_r1_paths(self):
+        s = SSPT(4, 4)
+        for leaf in (0, 3, s.leaves_per_copy - 1):
+            for other in s.counterparts(leaf):
+                assert len(s.common_neighbors(leaf, other)) == s.r1
+
+    def test_non_counterparts_single_path(self):
+        s = SSPT(4, 4)
+        assert len(s.common_neighbors(0, 1)) == 1
+
+    def test_link_classes(self):
+        s = SSPT(4, 2)
+        top = s.neighbors(0)[0]
+        assert s.link_class(0, top) == LINK_UP
+        assert s.link_class(top, 0) == LINK_DOWN
+
+
+class TestIsomorphisms:
+    """The paper's claim: MLFM and OFT are members of the SSPT class."""
+
+    def test_sspt_h_2_is_mlfm(self):
+        for h in (3, 4, 5):
+            s = SSPT(h, 2)
+            m = MLFM(h)
+            assert (s.num_nodes, s.num_routers) == (m.num_nodes, m.num_routers)
+            assert nx.is_isomorphic(s.to_networkx(), m.to_networkx())
+
+    def test_sspt_k_k_is_oft(self):
+        for k in (3, 4, 6):
+            s = SSPT(k, k)
+            o = OFT(k)
+            assert (s.num_nodes, s.num_routers) == (o.num_nodes, o.num_routers)
+            assert nx.is_isomorphic(s.to_networkx(), o.to_networkx())
+
+    def test_sspt_routes_and_simulates(self):
+        # The generic construction plugs into the whole stack.
+        from repro.routing import MinimalRouting
+        from repro.sim import Network
+        from repro.traffic import UniformRandom
+
+        s = SSPT(4, 4)
+        net = Network(s, MinimalRouting(s, seed=1))
+        stats = net.run_synthetic(
+            UniformRandom(s.num_nodes), load=0.5, warmup_ns=500, measure_ns=2000, seed=3
+        )
+        assert stats.throughput == pytest.approx(0.5, rel=0.1)
+
+    def test_sspt_deadlock_free(self):
+        from repro.routing import build_cdg_indirect
+        from repro.routing.vc import PhaseVC
+
+        cdg = build_cdg_indirect(SSPT(4, 2), PhaseVC())
+        assert cdg.is_acyclic()

@@ -1,0 +1,39 @@
+"""Tests for the reproduction-summary orchestrator."""
+
+import pytest
+
+from repro.experiments.summary import ALL_EXPERIMENTS, run_all, write_summary
+
+
+class TestRunAll:
+    def test_known_ids_cover_all_figures(self):
+        expected = {"table2", "diversity", "tail_effects"} | {
+            f"fig{i}" for i in range(3, 15)
+        }
+        assert set(ALL_EXPERIMENTS) == expected
+
+    def test_analytic_subset(self):
+        results = run_all(only=["table2", "fig3"])
+        assert set(results) == {"table2", "fig3"}
+        assert "report" in results["table2"]
+
+    def test_unknown_id_rejected(self):
+        with pytest.raises(ValueError):
+            run_all(only=["fig99"])
+
+    def test_progress_callback(self):
+        seen = []
+        run_all(only=["table2"], progress=lambda i, s: seen.append((i, s)))
+        assert seen and seen[0][0] == "table2"
+        assert seen[0][1] >= 0
+
+
+class TestWriteSummary:
+    def test_markdown_output(self, tmp_path):
+        results = run_all(only=["table2"])
+        path = tmp_path / "summary.md"
+        write_summary(results, path, scale="tiny")
+        text = path.read_text()
+        assert "# Reproduction summary" in text
+        assert "## table2" in text
+        assert "4-ML3B" in text

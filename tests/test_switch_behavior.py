@@ -1,0 +1,152 @@
+"""Behavioural tests of the switch model: backpressure, VC isolation,
+arbitration fairness, and ejection serialization.
+
+These build tiny custom topologies where the expected contention
+pattern is analytically known, then check the simulator honours it.
+"""
+
+import pytest
+
+from repro.routing import MinimalRouting
+from repro.routing.vc import HopIndexVC
+from repro.sim import Network, SimConfig
+from repro.sim.config import PAPER_CONFIG
+from repro.topology import Dragonfly
+from repro.topology.base import Topology
+from repro.traffic import PermutationTraffic
+
+
+def line3(p=2):
+    """Three routers in a line, *p* nodes each (forces a shared link)."""
+    return Topology("line3", [[1], [0, 2], [1]], [p, p, p])
+
+
+class TestBackpressure:
+    def test_shared_link_splits_bandwidth(self):
+        # Nodes 0,1 (router 0) send to nodes 4,5 (router 2): all traffic
+        # crosses links (0,1) and (1,2); 2 flows share each link -> each
+        # flow gets ~0.5.
+        topo = line3(p=2)
+        pattern = PermutationTraffic([4, 5, -1, -1, 0, 1])
+        net = Network(topo, MinimalRouting(topo, seed=1))
+        stats = net.run_synthetic(
+            pattern, load=1.0, warmup_ns=2000, measure_ns=6000, seed=3
+        )
+        # 4 active flows out of 6 nodes; each limited to ~0.5 =>
+        # aggregate (over 6 nodes) = 4 * 0.5 / 6 = 0.333.
+        assert stats.throughput == pytest.approx(4 * 0.5 / 6, rel=0.1)
+
+    def test_no_contention_full_rate(self):
+        topo = line3(p=1)
+        pattern = PermutationTraffic([1, 0, -1])  # routers 0<->1 only
+        net = Network(topo, MinimalRouting(topo, seed=1))
+        stats = net.run_synthetic(
+            pattern, load=1.0, warmup_ns=1000, measure_ns=4000, seed=3
+        )
+        # 2 of 3 nodes active at full rate.
+        assert stats.throughput == pytest.approx(2 / 3, rel=0.08)
+
+    def test_tiny_buffers_throttle_but_conserve(self):
+        topo = line3(p=2)
+        pattern = PermutationTraffic([4, 5, -1, -1, 0, 1])
+        cfg = SimConfig(buffer_bytes_per_port=512)  # 2 packets per port
+        net = Network(topo, MinimalRouting(topo, seed=1), cfg)
+        net.run_synthetic(pattern, load=1.0, warmup_ns=1000, measure_ns=3000,
+                          seed=3, drain=True)
+        assert net.stats.injected_total == net.stats.ejected_total
+
+
+class TestEjectionSerialization:
+    def test_duplicate_destination_rejected_as_permutation(self):
+        # Two sources, one destination is not a permutation; the
+        # many-to-one case is exercised below with a custom pattern.
+        with pytest.raises(ValueError):
+            PermutationTraffic([2, 2, -1])
+
+    def test_receiver_bottleneck_via_custom_pattern(self):
+        topo = Topology("v", [[2], [2], [0, 1]], [1, 1, 1])
+
+        class TwoToOne:
+            def pick_destination(self, src, rng):
+                return 2 if src in (0, 1) else None
+
+        net = Network(topo, MinimalRouting(topo, seed=1))
+        stats = net.run_synthetic(
+            TwoToOne(), load=1.0, warmup_ns=1000, measure_ns=4000, seed=3
+        )
+        # Node 2 can eject at most 1.0; aggregate normalised over 3
+        # nodes = 1/3.
+        assert stats.throughput == pytest.approx(1 / 3, rel=0.1)
+
+
+class TestArbitrationFairness:
+    def test_equal_split_between_competing_inputs(self):
+        # Router 1 receives from routers 0 and 2, both forwarding to
+        # node on router 1?  Simpler: both send THROUGH router 1 to
+        # opposite sides; each direction of the middle links is private,
+        # so check the shared ejection at router 1 instead.
+        topo = Topology("y", [[1], [0, 2, 3], [1], [1]], [1, 0, 1, 1])
+
+        class BothToNode2:
+            # nodes: 0 on router 0, 1 on router 2, 2 on router 3.
+            def pick_destination(self, src, rng):
+                return 2 if src in (0, 1) else None
+
+        net = Network(topo, MinimalRouting(topo, seed=1))
+        net.run_synthetic(
+            BothToNode2(), load=1.0, warmup_ns=2000, measure_ns=8000, seed=3
+        )
+        counts = net.stats.eject_count_per_node
+        # Node 2 received from both sources; fairness: neither source
+        # starves.  Check via tracer-less proxy: total ejections at node
+        # 2 ~ link rate * window; split roughly evenly (round robin).
+        assert counts[2] > 0
+        tracer_net = Network(topo, MinimalRouting(topo, seed=1))
+        tracer = tracer_net.enable_trace(capacity=100_000, start_ns=2000)
+        tracer_net.run_synthetic(
+            BothToNode2(), load=1.0, warmup_ns=2000, measure_ns=8000, seed=3
+        )
+        by_src = {}
+        for r in tracer.records:
+            by_src[r.src_node] = by_src.get(r.src_node, 0) + 1
+        assert set(by_src) == {0, 1}
+        lo, hi = sorted(by_src.values())
+        assert hi / lo < 1.3  # round-robin keeps the split near 50/50
+
+
+class TestVCIsolation:
+    def test_vcs_share_port_buffer(self):
+        # With 2 VCs the per-VC buffer is half the port buffer.
+        cfg = PAPER_CONFIG
+        assert cfg.buffer_packets_per_vc(2) * 2 <= cfg.buffer_packets_per_port
+
+    def test_multi_vc_network_conserves(self, sf5):
+        from repro.routing import IndirectRandomRouting
+        from repro.traffic import UniformRandom
+
+        net = Network(sf5, IndirectRandomRouting(sf5, seed=1))
+        assert net.num_vcs == 4
+        net.run_synthetic(
+            UniformRandom(sf5.num_nodes), load=0.6,
+            warmup_ns=500, measure_ns=2000, seed=3, drain=True,
+        )
+        assert net.stats.injected_total == net.stats.ejected_total
+
+
+class TestDragonflySimulation:
+    """Related-work extension: the generic stack simulates the Dragonfly
+    too, with a 3-VC hop-indexed policy for its diameter-3 minimal
+    routes."""
+
+    def test_dragonfly_uniform(self):
+        df = Dragonfly(2)
+        policy = HopIndexVC(minimal_vcs=3, indirect_vcs=6)
+        net = Network(df, MinimalRouting(df, vc_policy=policy, seed=1))
+        from repro.traffic import UniformRandom
+
+        stats = net.run_synthetic(
+            UniformRandom(df.num_nodes), load=0.4,
+            warmup_ns=1000, measure_ns=4000, seed=3, drain=True,
+        )
+        assert stats.throughput == pytest.approx(0.4, rel=0.1)
+        assert net.stats.injected_total == net.stats.ejected_total

@@ -1,0 +1,69 @@
+"""Tests for distributed forwarding tables (repro.routing.tables)."""
+
+import pytest
+
+from repro.routing.tables import ForwardingTables
+from repro.topology import MLFM, OFT, SlimFly
+
+
+class TestNextHops:
+    def test_self_empty(self, sf5):
+        ft = ForwardingTables(sf5)
+        assert ft.next_hops(3, 3) == ()
+
+    def test_adjacent_single_hop(self, sf5):
+        ft = ForwardingTables(sf5)
+        n = sf5.neighbors(0)[0]
+        assert ft.next_hops(0, n) == (n,)
+
+    def test_hops_are_neighbors(self, mlfm4):
+        ft = ForwardingTables(mlfm4)
+        for dst in range(1, mlfm4.num_routers):
+            for hop in ft.next_hops(0, dst):
+                assert mlfm4.is_edge(0, hop)
+
+    def test_multipath_on_diverse_pairs(self, mlfm4):
+        ft = ForwardingTables(mlfm4)
+        h = mlfm4.h
+        # Same-column pair: h ECMP entries.
+        assert len(ft.next_hops(0, h + 1)) == h
+
+    def test_single_path_pairs(self, oft4):
+        ft = ForwardingTables(oft4)
+        assert len(ft.next_hops(0, 1)) == 1
+
+
+class TestWalk:
+    def test_walk_reaches_destination(self, sf5):
+        ft = ForwardingTables(sf5)
+        for dst in range(1, sf5.num_routers, 5):
+            path = ft.walk(0, dst)
+            assert path[0] == 0 and path[-1] == dst
+            assert len(path) - 1 <= 2
+
+    def test_walk_choose_max(self, mlfm4):
+        ft = ForwardingTables(mlfm4)
+        h = mlfm4.h
+        path_min = ft.walk(0, h + 1, choose=min)
+        path_max = ft.walk(0, h + 1, choose=max)
+        assert path_min[1] != path_max[1]  # distinct ECMP branches
+        assert path_min[-1] == path_max[-1]
+
+
+class TestVerify:
+    @pytest.mark.parametrize("topo_factory", [
+        lambda: SlimFly(5),
+        lambda: MLFM(4),
+        lambda: OFT(4),
+    ])
+    def test_tables_correct_and_loop_free(self, topo_factory):
+        topo = topo_factory()
+        ft = ForwardingTables(topo)
+        assert ft.verify() == []
+
+    def test_entry_counts(self, mlfm4):
+        ft = ForwardingTables(mlfm4)
+        # Every router holds >= R-1 entries (one per destination,
+        # more where multipath exists).
+        assert ft.table_size(0) >= mlfm4.num_routers - 1
+        assert ft.total_entries() >= mlfm4.num_routers * (mlfm4.num_routers - 1)

@@ -1,0 +1,192 @@
+"""Tests for packet tracing and the command-line interface."""
+
+import pytest
+
+from repro.cli import main, parse_topology
+from repro.routing import MinimalRouting
+from repro.sim import Network
+from repro.sim.trace import PacketTracer
+from repro.topology import MLFM, OFT, SSPT, SlimFly
+from repro.traffic import UniformRandom
+
+
+class TestTracer:
+    def test_records_delivered_packets(self, sf5):
+        net = Network(sf5, MinimalRouting(sf5, seed=1))
+        tracer = net.enable_trace(capacity=100)
+        net.run_synthetic(
+            UniformRandom(sf5.num_nodes), load=0.2,
+            warmup_ns=200, measure_ns=800, seed=3, drain=True,
+        )
+        assert tracer.records
+        rec = tracer.records[0]
+        assert rec.latency_ns > 0
+        assert rec.queueing_ns >= 0
+        assert rec.num_hops == len(rec.routers) - 1
+
+    def test_capacity_bound(self, sf5):
+        net = Network(sf5, MinimalRouting(sf5, seed=1))
+        tracer = net.enable_trace(capacity=5)
+        net.run_synthetic(
+            UniformRandom(sf5.num_nodes), load=0.3,
+            warmup_ns=200, measure_ns=800, seed=3, drain=True,
+        )
+        assert len(tracer.records) == 5
+        assert tracer.dropped > 0
+
+    def test_start_filter(self, sf5):
+        net = Network(sf5, MinimalRouting(sf5, seed=1))
+        tracer = net.enable_trace(capacity=1000, start_ns=500.0)
+        net.run_synthetic(
+            UniformRandom(sf5.num_nodes), load=0.2,
+            warmup_ns=200, measure_ns=600, seed=3, drain=True,
+        )
+        assert all(r.eject_time >= 500.0 for r in tracer.records)
+
+    def test_by_kind(self, sf5):
+        net = Network(sf5, MinimalRouting(sf5, seed=1))
+        tracer = net.enable_trace()
+        net.run_synthetic(
+            UniformRandom(sf5.num_nodes), load=0.2,
+            warmup_ns=200, measure_ns=600, seed=3, drain=True,
+        )
+        assert set(tracer.by_kind()) == {"minimal"}
+
+    def test_latencies_list(self):
+        tracer = PacketTracer(capacity=3)
+        assert tracer.latencies() == []
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            PacketTracer(capacity=0)
+
+
+class TestTopologySpecs:
+    def test_sf(self):
+        topo = parse_topology("sf:q=5")
+        assert isinstance(topo, SlimFly) and topo.q == 5 and topo.p == 3
+
+    def test_sf_ceil_and_int(self):
+        assert parse_topology("sf:q=5,p=ceil").p == 4
+        assert parse_topology("sf:q=5,p=2").p == 2
+
+    def test_mlfm(self):
+        topo = parse_topology("mlfm:h=4")
+        assert isinstance(topo, MLFM) and topo.h == 4
+
+    def test_mlfm_general(self):
+        topo = parse_topology("mlfm:h=4,l=2,p=3")
+        assert topo.l == 2 and topo.p == 3
+
+    def test_oft(self):
+        topo = parse_topology("oft:k=4")
+        assert isinstance(topo, OFT) and topo.k == 4
+
+    def test_sspt(self):
+        topo = parse_topology("sspt:r1=4,r2=2")
+        assert isinstance(topo, SSPT)
+
+    def test_hyperx_balanced_and_explicit(self):
+        assert parse_topology("hyperx:r=9").num_routers == 16
+        assert parse_topology("hyperx:s1=3,s2=4,p=2").num_routers == 12
+
+    def test_fattrees_dragonfly(self):
+        assert parse_topology("ft2:r=8").num_nodes == 32
+        assert parse_topology("ft3:r=4").num_nodes == 16
+        assert parse_topology("dfly:p=2").num_nodes == 72
+
+    def test_bad_specs(self):
+        with pytest.raises(ValueError):
+            parse_topology("torus:d=3")
+        with pytest.raises(ValueError):
+            parse_topology("sf:p=3")  # missing q
+        with pytest.raises(ValueError):
+            parse_topology("sf:q")  # not key=value
+
+
+class TestCLICommands:
+    def test_info(self, capsys):
+        assert main(["info", "mlfm:h=4"]) == 0
+        out = capsys.readouterr().out
+        assert "MLFM(h=4)" in out and "endpoint diameter" in out
+
+    def test_info_no_diameter(self, capsys):
+        assert main(["info", "sf:q=5", "--no-diameter"]) == 0
+        assert "endpoint diameter" not in capsys.readouterr().out
+
+    def test_simulate(self, capsys):
+        rc = main([
+            "simulate", "mlfm:h=4", "--routing", "min", "--pattern", "uniform",
+            "--load", "0.3", "--warmup", "300", "--measure", "1200",
+        ])
+        assert rc == 0
+        assert "throughput=" in capsys.readouterr().out
+
+    def test_sweep(self, capsys):
+        rc = main([
+            "sweep", "oft:k=4", "--routing", "min", "--pattern", "worstcase",
+            "--loads", "0.1,0.3", "--warmup", "300", "--measure", "1200",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "saturation point" in out
+
+    def test_exchange(self, capsys):
+        rc = main([
+            "exchange", "oft:k=4", "--pattern", "a2a", "--routing", "min",
+            "--msg-bytes", "256",
+        ])
+        assert rc == 0
+        assert "effective_throughput=" in capsys.readouterr().out
+
+    def test_figure_table2(self, capsys):
+        assert main(["figure", "table2"]) == 0
+        assert "4-ML3B" in capsys.readouterr().out
+
+    def test_figure_unknown(self, capsys):
+        assert main(["figure", "fig99"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_scalability(self, capsys):
+        assert main(["scalability", "--max-radix", "16"]) == 0
+        assert "OFT" in capsys.readouterr().out
+
+    def test_bisection(self, capsys):
+        assert main(["bisection", "oft:k=3", "--restarts", "4"]) == 0
+        assert "bisection=" in capsys.readouterr().out
+
+    def test_bad_topology_exit_code(self, capsys):
+        assert main(["info", "nonsense:x=1"]) == 2
+
+    def test_ugal_routing_names(self, capsys):
+        rc = main([
+            "simulate", "sf:q=4", "--routing", "ugal-ath", "--pattern", "uniform",
+            "--load", "0.2", "--warmup", "200", "--measure", "800",
+        ])
+        assert rc == 0
+
+
+class TestValidateCommand:
+    def test_healthy_topology(self, capsys):
+        assert main(["validate", "mlfm:h=3"]) == 0
+        out = capsys.readouterr().out
+        assert "HEALTHY" in out
+        assert "deadlock (indirect" in out
+
+    def test_skip_indirect(self, capsys):
+        assert main(["validate", "sf:q=4", "--skip-indirect"]) == 0
+        out = capsys.readouterr().out
+        assert "indirect" not in out
+
+
+class TestReproduceCommand:
+    def test_analytic_subset(self, capsys, tmp_path):
+        out_md = tmp_path / "summary.md"
+        out_json = tmp_path / "data.json"
+        rc = main([
+            "reproduce", "--only", "table2,fig3",
+            "--output", str(out_md), "--json", str(out_json),
+        ])
+        assert rc == 0
+        assert out_md.exists() and out_json.exists()
+        assert "table2" in out_md.read_text()

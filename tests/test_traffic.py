@@ -1,0 +1,213 @@
+"""Tests for traffic patterns (Sec. 4.2-4.4 workloads)."""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.traffic import (
+    AllToAll,
+    NearestNeighbor3D,
+    PermutationTraffic,
+    ShiftTraffic,
+    UniformRandom,
+    best_torus_dims,
+    paper_torus_dims,
+    shift_permutation,
+    torus_coords,
+    torus_rank,
+)
+
+
+class TestUniform:
+    def test_never_self(self):
+        u = UniformRandom(10)
+        rng = random.Random(0)
+        for _ in range(500):
+            src = rng.randrange(10)
+            assert u.pick_destination(src, rng) != src
+
+    def test_covers_all_destinations(self):
+        u = UniformRandom(6)
+        rng = random.Random(1)
+        seen = {u.pick_destination(0, rng) for _ in range(300)}
+        assert seen == {1, 2, 3, 4, 5}
+
+    def test_roughly_uniform(self):
+        u = UniformRandom(5)
+        rng = random.Random(2)
+        counts = np.zeros(5)
+        for _ in range(5000):
+            counts[u.pick_destination(0, rng)] += 1
+        assert counts[0] == 0
+        assert counts[1:].min() > 1000  # expected 1250 each
+
+    def test_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            UniformRandom(1)
+
+
+class TestShift:
+    def test_shift_values(self):
+        s = ShiftTraffic(10, 3)
+        assert s.pick_destination(0, None) == 3
+        assert s.pick_destination(9, None) == 2
+
+    def test_rejects_zero_shift(self):
+        with pytest.raises(ValueError):
+            ShiftTraffic(10, 0)
+        with pytest.raises(ValueError):
+            shift_permutation(10, 10)
+
+    def test_permutation_property(self):
+        dst = shift_permutation(17, 5)
+        assert sorted(dst) == list(range(17))
+
+
+class TestPermutation:
+    def test_rejects_self_destination(self):
+        with pytest.raises(ValueError):
+            PermutationTraffic([1, 1])
+        with pytest.raises(ValueError):
+            PermutationTraffic([0, 1])  # 0 -> 0
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            PermutationTraffic([2, 2, 1])
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            PermutationTraffic([5, 0])
+
+    def test_partial_permutation(self):
+        p = PermutationTraffic([2, -1, 0])
+        assert p.pick_destination(0, None) == 2
+        assert p.pick_destination(1, None) is None
+
+    def test_as_messages(self):
+        p = PermutationTraffic([1, 0, -1])
+        msgs = p.as_messages(100)
+        assert msgs == [[(1, 100)], [(0, 100)], []]
+
+
+class TestAllToAll:
+    def test_every_pair_exactly_once(self):
+        a2a = AllToAll(7, message_bytes=10, schedule="random", seed=3)
+        pairs = set()
+        for node in range(7):
+            for dst, size in a2a.node_messages(node):
+                assert size == 10 and dst != node
+                pairs.add((node, dst))
+        assert len(pairs) == 42
+
+    def test_staggered_order(self):
+        a2a = AllToAll(5, message_bytes=10, schedule="staggered")
+        assert [d for d, _ in a2a.node_messages(0)] == [1, 2, 3, 4]
+        assert [d for d, _ in a2a.node_messages(3)] == [4, 0, 1, 2]
+
+    def test_random_is_seeded(self):
+        a = list(AllToAll(9, schedule="random", seed=5).node_messages(2))
+        b = list(AllToAll(9, schedule="random", seed=5).node_messages(2))
+        assert a == b
+
+    def test_total_bytes(self):
+        a2a = AllToAll(6, message_bytes=100)
+        assert a2a.total_bytes == 6 * 5 * 100
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            AllToAll(1)
+        with pytest.raises(ValueError):
+            AllToAll(5, message_bytes=0)
+        with pytest.raises(ValueError):
+            AllToAll(5, schedule="barriered")
+
+
+class TestTorusGeometry:
+    def test_rank_coords_roundtrip(self):
+        dims = (3, 4, 5)
+        for rank in range(60):
+            assert torus_rank(torus_coords(rank, dims), dims) == rank
+
+    def test_x_fastest(self):
+        assert torus_rank((1, 0, 0), (3, 4, 5)) == 1
+        assert torus_rank((0, 1, 0), (3, 4, 5)) == 3
+        assert torus_rank((0, 0, 1), (3, 4, 5)) == 12
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            torus_rank((3, 0, 0), (3, 4, 5))
+        with pytest.raises(ValueError):
+            torus_coords(60, (3, 4, 5))
+
+    def test_best_dims_exact_products(self):
+        # The paper's tori are exact fits for the paper's N values.
+        assert np.prod(best_torus_dims(3192)) == 3192  # OFT k=12
+        assert np.prod(best_torus_dims(3600)) == 3600  # MLFM h=15
+
+    def test_best_dims_near_cubic(self):
+        a, b, c = best_torus_dims(1000)
+        assert (a, b, c) == (10, 10, 10)
+
+    def test_best_dims_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            best_torus_dims(4)
+
+    def test_paper_dims_mlfm(self):
+        from repro.topology import MLFM
+
+        assert paper_torus_dims(MLFM(15)) == (15, 16, 15)  # the paper's torus
+        assert paper_torus_dims(MLFM(5)) == (5, 6, 5)
+
+    def test_paper_dims_sf(self):
+        from repro.topology import SlimFly
+
+        assert paper_torus_dims(SlimFly(13, "floor")) == (13, 13, 18)
+        assert paper_torus_dims(SlimFly(13, "ceil")) == (13, 13, 20)
+
+
+class TestNearestNeighbor:
+    def test_six_neighbors(self):
+        nn = NearestNeighbor3D(64, message_bytes=10, dims=(4, 4, 4))
+        msgs = list(nn.node_messages(0))
+        assert len(msgs) == 6
+        assert all(size == 10 for _, size in msgs)
+
+    def test_neighbor_symmetry(self):
+        nn = NearestNeighbor3D(60, message_bytes=10, dims=(3, 4, 5))
+        # If a sends to b, then b sends to a (torus symmetry).
+        send_map = {n: {d for d, _ in nn.node_messages(n)} for n in range(60)}
+        for a, dsts in send_map.items():
+            for b in dsts:
+                assert a in send_map[b]
+
+    def test_off_torus_nodes_idle(self):
+        nn = NearestNeighbor3D(70, message_bytes=10, dims=(3, 4, 5))
+        assert list(nn.node_messages(65)) == []
+
+    def test_degenerate_dims_deduplicated(self):
+        nn = NearestNeighbor3D(8, message_bytes=10, dims=(2, 2, 2))
+        for node in range(8):
+            msgs = [d for d, _ in nn.node_messages(node)]
+            assert len(msgs) == len(set(msgs))
+            assert node not in msgs
+
+    def test_total_bytes(self):
+        nn = NearestNeighbor3D(27, message_bytes=10, dims=(3, 3, 3))
+        assert nn.total_bytes == 27 * 6 * 10
+
+    def test_rejects_oversized_torus(self):
+        with pytest.raises(ValueError):
+            NearestNeighbor3D(10, dims=(3, 4, 5))
+
+    def test_interleave_flag(self):
+        assert NearestNeighbor3D(64, dims=(4, 4, 4)).interleave
+
+
+@given(st.integers(min_value=8, max_value=4000))
+@settings(max_examples=60, deadline=None)
+def test_property_best_torus_fits(n):
+    a, b, c = best_torus_dims(n)
+    assert a * b * c <= n
+    assert a <= b <= c

@@ -1,0 +1,147 @@
+"""Tests for the classic permutation suite and hotspot traffic."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.analysis.linkload import channel_loads_minimal, permutation_flows, saturation_throughput
+from repro.routing import IndirectRandomRouting, MinimalRouting
+from repro.sim import Network
+from repro.topology import SlimFly
+from repro.traffic import BitComplement, BitReverse, HotspotTraffic, Tornado, Transpose
+
+
+class TestBitComplement:
+    def test_power_of_two_full_permutation(self):
+        bc = BitComplement(16)
+        dst = bc.destinations
+        assert sorted(dst) == list(range(16))
+        assert dst[0] == 15 and dst[5] == 10
+
+    def test_involution(self):
+        bc = BitComplement(32)
+        dst = bc.destinations
+        for s in range(32):
+            assert dst[dst[s]] == s
+
+    def test_partial_on_non_power_of_two(self):
+        bc = BitComplement(20)  # b = 4: nodes 16..19 idle
+        dst = bc.destinations
+        assert all(dst[i] == -1 for i in range(16, 20))
+        assert sorted(d for d in dst if d >= 0) == list(range(16))
+
+    def test_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            BitComplement(1)
+
+
+class TestBitReverse:
+    def test_known_values(self):
+        br = BitReverse(8)
+        dst = br.destinations
+        # 3 bits: 001 -> 100, 011 -> 110.
+        assert dst[1] == 4 and dst[3] == 6
+        # Palindromic addresses are fixed points -> idle.
+        assert dst[0] == -1 and dst[7] == -1
+
+    def test_involution_on_active(self):
+        br = BitReverse(64)
+        dst = br.destinations
+        for s in range(64):
+            if dst[s] >= 0:
+                assert dst[dst[s]] == s
+
+
+class TestTranspose:
+    def test_swap_halves(self):
+        t = Transpose(16)  # 4 bits: (hi, lo) -> (lo, hi)
+        dst = t.destinations
+        assert dst[0b0110] == 0b1001
+        # Symmetric addresses (hi == lo) are fixed points -> idle.
+        assert dst[0b0101] == -1
+
+    def test_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            Transpose(3)
+
+
+class TestTornado:
+    def test_offset(self):
+        t = Tornado(10)
+        assert t.pick_destination(0, None) == 4
+        assert t.pick_destination(9, None) == 3
+
+    def test_full_permutation(self):
+        t = Tornado(11)
+        assert sorted(t.destinations) == list(range(11))
+
+    def test_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            Tornado(2)
+
+
+class TestHotspot:
+    def test_biased_toward_hotspots(self):
+        h = HotspotTraffic(50, hotspots=[7], hot_fraction=0.5)
+        rng = random.Random(1)
+        hits = sum(1 for _ in range(4000) if h.pick_destination(0, rng) == 7)
+        # ~50% direct hot traffic plus ~1/49 of the uniform remainder.
+        assert 0.4 <= hits / 4000 <= 0.6
+
+    def test_zero_fraction_is_uniform(self):
+        h = HotspotTraffic(20, hotspots=[3], hot_fraction=0.0)
+        rng = random.Random(2)
+        counts = np.zeros(20)
+        for _ in range(4000):
+            counts[h.pick_destination(5, rng)] += 1
+        assert counts[5] == 0
+        assert counts.max() < 3 * counts[counts > 0].min()
+
+    def test_never_self(self):
+        h = HotspotTraffic(10, hotspots=[4], hot_fraction=1.0)
+        rng = random.Random(3)
+        for _ in range(500):
+            assert h.pick_destination(4, rng) != 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HotspotTraffic(10, hotspots=[])
+        with pytest.raises(ValueError):
+            HotspotTraffic(10, hotspots=[10])
+        with pytest.raises(ValueError):
+            HotspotTraffic(10, hotspots=[1], hot_fraction=1.5)
+        with pytest.raises(ValueError):
+            HotspotTraffic(1, hotspots=[0])
+
+
+class TestOnTopologies:
+    def test_classic_patterns_milder_than_tailored_worst_case(self, sf5):
+        # Any node-aligned permutation concentrates router traffic, but
+        # the classic torus adversaries are measurably milder on the SF
+        # than the tailored overlapping-routes construction (1/(2p)):
+        # Tornado lands at 1/p, BitComplement at 1.5/(2p).
+        wc_floor = 1.0 / (2 * sf5.p)
+        for pattern_cls, factor in ((Tornado, 2.0), (BitComplement, 1.5)):
+            pattern = pattern_cls(sf5.num_nodes)
+            loads = channel_loads_minimal(
+                sf5, permutation_flows(pattern.destinations)
+            )
+            sat = saturation_throughput(loads)
+            assert sat == pytest.approx(factor * wc_floor, rel=0.05), pattern_cls
+            assert sat < 1.0
+
+    def test_hotspot_saturates_ejection(self, sf5):
+        # All-hot traffic to one node: the hotspot's ejection link is
+        # the bottleneck; aggregate throughput ~ 1/N.
+        h = HotspotTraffic(sf5.num_nodes, hotspots=[0], hot_fraction=1.0)
+        net = Network(sf5, MinimalRouting(sf5, seed=1))
+        stats = net.run_synthetic(h, load=0.5, warmup_ns=1500, measure_ns=5000, seed=3)
+        assert stats.throughput < 0.1
+
+    def test_tornado_simulates(self, sf5):
+        net = Network(sf5, IndirectRandomRouting(sf5, seed=1))
+        stats = net.run_synthetic(
+            Tornado(sf5.num_nodes), load=0.3, warmup_ns=1000, measure_ns=3000, seed=3
+        )
+        assert stats.throughput == pytest.approx(0.3, rel=0.12)

@@ -1,0 +1,137 @@
+"""Tests for VC policies and channel-dependency-graph deadlock analysis
+(Sec. 3.4) -- these are the per-instance *proofs* of the paper's claims."""
+
+import pytest
+
+from repro.routing.deadlock import (
+    ChannelDependencyGraph,
+    build_cdg_indirect,
+    build_cdg_minimal,
+)
+from repro.routing.vc import HopIndexVC, PhaseVC, default_vc_policy
+from repro.topology import MLFM, OFT, FatTree2L, HyperX2D, SlimFly
+
+
+class TestVCPolicies:
+    def test_hop_index_assignment(self):
+        pol = HopIndexVC()
+        assert pol.assign((0, 1, 2), None) == (0, 1)
+        assert pol.assign((0, 1, 2, 3, 4), 2) == (0, 1, 2, 3)
+
+    def test_hop_index_rejects_too_long(self):
+        with pytest.raises(ValueError):
+            HopIndexVC().assign((0, 1, 2, 3, 4, 5), None)
+
+    def test_phase_assignment_minimal(self):
+        assert PhaseVC().assign((0, 1, 2), None) == (0, 0)
+
+    def test_phase_assignment_indirect(self):
+        # 4-hop route, intermediate at position 2: VC 0,0 then 1,1.
+        assert PhaseVC().assign((0, 1, 2, 3, 4), 2) == (0, 0, 1, 1)
+
+    def test_phase_rejects_bad_intermediate(self):
+        with pytest.raises(ValueError):
+            PhaseVC().assign((0, 1, 2), 7)
+
+    def test_vc_counts(self):
+        assert HopIndexVC().num_vcs(False) == 2
+        assert HopIndexVC().num_vcs(True) == 4
+        assert PhaseVC().num_vcs(False) == 1
+        assert PhaseVC().num_vcs(True) == 2
+
+    def test_default_policy_dispatch(self, sf5, mlfm4, oft4, hyperx, ft2):
+        assert isinstance(default_vc_policy(sf5), HopIndexVC)
+        assert isinstance(default_vc_policy(hyperx), HopIndexVC)
+        assert isinstance(default_vc_policy(mlfm4), PhaseVC)
+        assert isinstance(default_vc_policy(oft4), PhaseVC)
+        assert isinstance(default_vc_policy(ft2), PhaseVC)
+
+
+class TestCDGPrimitives:
+    def test_acyclic_empty(self):
+        assert ChannelDependencyGraph().is_acyclic()
+
+    def test_detects_two_cycle(self):
+        g = ChannelDependencyGraph()
+        a, b = (0, 1, 0), (1, 0, 0)
+        g.add_dependency(a, b)
+        g.add_dependency(b, a)
+        assert not g.is_acyclic()
+        cycle = g.find_cycle()
+        assert cycle is not None and set(cycle) == {a, b}
+
+    def test_chain_acyclic(self):
+        g = ChannelDependencyGraph()
+        g.add_route((0, 1, 2, 3), (0, 0, 0))
+        assert g.is_acyclic()
+        assert g.find_cycle() is None
+
+    def test_counts(self):
+        g = ChannelDependencyGraph()
+        g.add_route((0, 1, 2), (0, 0))
+        assert g.num_vertices == 2 and g.num_edges == 1
+
+
+class TestPaperDeadlockClaims:
+    """Each test proves one claim of Sec. 3.4 on a concrete instance."""
+
+    def test_mlfm_minimal_deadlock_free_one_vc(self, mlfm4):
+        cdg = build_cdg_minimal(mlfm4, PhaseVC())
+        assert cdg.is_acyclic()
+
+    def test_oft_minimal_deadlock_free_one_vc(self, oft4):
+        cdg = build_cdg_minimal(oft4, PhaseVC())
+        assert cdg.is_acyclic()
+
+    def test_ft2_minimal_deadlock_free_one_vc(self, ft2):
+        cdg = build_cdg_minimal(ft2, PhaseVC())
+        assert cdg.is_acyclic()
+
+    def test_mlfm_indirect_deadlock_free_two_vcs(self, mlfm4):
+        cdg = build_cdg_indirect(mlfm4, PhaseVC())
+        assert cdg.is_acyclic()
+
+    def test_oft_indirect_deadlock_free_two_vcs(self, oft3):
+        cdg = build_cdg_indirect(oft3, PhaseVC())
+        assert cdg.is_acyclic()
+
+    def test_mlfm_indirect_single_vc_deadlocks(self, mlfm4):
+        # The negative control: without the second VC the towards/away/
+        # towards/away pattern closes cycles on the CDG (Sec. 3.4).
+        class OneVC(PhaseVC):
+            def assign(self, routers, intermediate):
+                return (0,) * (len(routers) - 1)
+
+        cdg = build_cdg_indirect(mlfm4, OneVC())
+        assert not cdg.is_acyclic()
+        assert cdg.find_cycle() is not None
+
+    def test_oft_indirect_single_vc_deadlocks(self, oft3):
+        class OneVC(PhaseVC):
+            def assign(self, routers, intermediate):
+                return (0,) * (len(routers) - 1)
+
+        cdg = build_cdg_indirect(oft3, OneVC())
+        assert not cdg.is_acyclic()
+
+    def test_sf_minimal_deadlock_free_two_vcs(self, sf5):
+        cdg = build_cdg_minimal(sf5, HopIndexVC())
+        assert cdg.is_acyclic()
+
+    def test_sf_indirect_deadlock_free_four_vcs(self, sf5):
+        cdg = build_cdg_indirect(sf5, HopIndexVC())
+        assert cdg.is_acyclic()
+
+    def test_sf_minimal_single_vc_deadlocks(self, sf5):
+        # Without VCs, minimal routing over the SF's flat structure has
+        # cyclic dependencies (2-hop paths cross in both directions).
+        class OneVC(HopIndexVC):
+            def assign(self, routers, intermediate):
+                return (0,) * (len(routers) - 1)
+
+        cdg = build_cdg_minimal(sf5, OneVC())
+        assert not cdg.is_acyclic()
+
+    def test_hyperx_minimal_two_vcs(self, hyperx):
+        cdg = build_cdg_minimal(hyperx, HopIndexVC())
+        assert cdg.is_acyclic()

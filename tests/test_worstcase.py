@@ -1,0 +1,115 @@
+"""Tests for the adversarial worst-case traffic constructions (Sec. 4.2)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.linkload import (
+    channel_loads_minimal,
+    permutation_flows,
+    saturation_throughput,
+)
+from repro.topology import MLFM, OFT, SlimFly
+from repro.traffic import ShiftTraffic, worst_case_traffic
+from repro.traffic.worstcase import SlimFlyWorstCase, slimfly_worst_case_chains
+
+
+class TestDispatch:
+    def test_mlfm_gets_shift_by_p(self, mlfm4):
+        wc = worst_case_traffic(mlfm4)
+        assert isinstance(wc, ShiftTraffic)
+        assert wc.shift == mlfm4.p
+
+    def test_oft_gets_shift_by_p(self, oft4):
+        wc = worst_case_traffic(oft4)
+        assert isinstance(wc, ShiftTraffic)
+        assert wc.shift == oft4.p
+
+    def test_sf_gets_chain_pattern(self, sf5):
+        wc = worst_case_traffic(sf5, seed=1)
+        assert isinstance(wc, SlimFlyWorstCase)
+
+    def test_generic_fallback(self, ft2):
+        wc = worst_case_traffic(ft2)
+        assert isinstance(wc, ShiftTraffic)
+
+
+class TestSlimFlyChains:
+    def test_chains_cover_all_routers_once(self, sf5):
+        chains = slimfly_worst_case_chains(sf5, seed=0)
+        flat = [r for c in chains for r in c]
+        assert sorted(flat) == list(range(sf5.num_routers))
+
+    def test_chain_steps_mostly_adjacent(self, sf5):
+        # Dead-ended walk fragments are merged onto the previous chain,
+        # so a few junction steps may be non-adjacent; the bulk of the
+        # walk must follow edges.
+        good = bad = 0
+        for chain in slimfly_worst_case_chains(sf5, seed=0):
+            for a, b in zip(chain[:-1], chain[1:]):
+                if sf5.is_edge(a, b):
+                    good += 1
+                else:
+                    bad += 1
+        assert bad <= 0.1 * (good + bad)
+
+    def test_chains_long_enough(self, sf5):
+        for chain in slimfly_worst_case_chains(sf5, seed=0):
+            assert len(chain) >= 3
+
+    def test_most_pairs_at_distance_two(self, sf5):
+        # The greedy walk prefers distance-2 pairings; the vast
+        # majority of (i, i+2) pairs must be non-adjacent.
+        chains = slimfly_worst_case_chains(sf5, seed=0)
+        good = bad = 0
+        for chain in chains:
+            n = len(chain)
+            for i in range(n):
+                a, b = chain[i], chain[(i + 2) % n]
+                if sf5.is_edge(a, b) or a == b:
+                    bad += 1
+                else:
+                    good += 1
+        assert good / (good + bad) > 0.85
+
+    def test_reproducible(self, sf5):
+        assert slimfly_worst_case_chains(sf5, seed=4) == slimfly_worst_case_chains(sf5, seed=4)
+
+
+class TestPermutationValidity:
+    @pytest.mark.parametrize("builder", [
+        lambda: worst_case_traffic(SlimFly(5), seed=1),
+        lambda: worst_case_traffic(MLFM(4)),
+        lambda: worst_case_traffic(OFT(4)),
+    ])
+    def test_is_full_permutation(self, builder):
+        wc = builder()
+        dst = wc.destinations
+        assert sorted(dst) == list(range(len(dst)))
+        assert not np.any(dst == np.arange(len(dst)))
+
+
+class TestAnalyticSaturation:
+    """The headline Sec. 4.2 saturation bounds, verified analytically."""
+
+    def test_sf_one_over_2p(self, sf5):
+        wc = worst_case_traffic(sf5, seed=1)
+        loads = channel_loads_minimal(sf5, permutation_flows(wc.destinations))
+        sat = saturation_throughput(loads)
+        expected = 1.0 / (2 * sf5.p)
+        assert sat == pytest.approx(expected, rel=0.15)
+
+    def test_mlfm_one_over_h(self, mlfm4):
+        wc = worst_case_traffic(mlfm4)
+        loads = channel_loads_minimal(mlfm4, permutation_flows(wc.destinations))
+        assert saturation_throughput(loads) == pytest.approx(1.0 / mlfm4.h)
+
+    def test_oft_one_over_k(self, oft4):
+        wc = worst_case_traffic(oft4)
+        loads = channel_loads_minimal(oft4, permutation_flows(wc.destinations))
+        assert saturation_throughput(loads) == pytest.approx(1.0 / oft4.k)
+
+    def test_sf_larger_instance(self):
+        sf = SlimFly(7)
+        wc = worst_case_traffic(sf, seed=1)
+        loads = channel_loads_minimal(sf, permutation_flows(wc.destinations))
+        assert saturation_throughput(loads) == pytest.approx(1.0 / (2 * sf.p), rel=0.15)
