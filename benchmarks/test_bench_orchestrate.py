@@ -1,0 +1,89 @@
+"""Orchestration subsystem benchmark.
+
+Runs one small campaign (2 routings x 4 loads on the tiny Slim Fly)
+through the process-pool scheduler, then resumes it from cache, and
+writes the measured trajectory — wall-clock, jobs, cache hits,
+events/s, parallel speedup versus the serial path — to
+``benchmarks/out/orchestrate_summary.json`` so the perf history of the
+subsystem is tracked alongside the figure artefacts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.experiments.configs import SCALES, windows_for_scale
+from repro.orchestrate import Orchestrator, run_campaign, sweep_jobs
+
+LOADS = (0.2, 0.4, 0.6, 0.8)
+ROUTINGS = (
+    ("min", {}),
+    ("inr", {}),
+)
+
+
+def _campaign_jobs(scale: str):
+    q = SCALES[scale]["q"]
+    windows = windows_for_scale(scale)
+    jobs = []
+    for routing in ROUTINGS:
+        jobs.extend(sweep_jobs(
+            f"sf:q={q},p=floor", routing, ("uniform", {}), LOADS,
+            warmup_ns=windows.warmup_ns, measure_ns=windows.measure_ns,
+            seed=0, tag=f"bench/{routing[0]}",
+        ))
+    return jobs
+
+
+def test_bench_orchestrate_campaign(scale, report_dir, tmp_path):
+    cache_dir = tmp_path / "cache"
+
+    # Serial reference (no cache): the single-core baseline.
+    t0 = time.perf_counter()
+    serial = run_campaign(_campaign_jobs(scale))
+    serial_s = time.perf_counter() - t0
+    assert not serial.failed
+
+    # Parallel cold run (populates the cache).
+    parallel = Orchestrator(jobs=4, cache_dir=cache_dir, resume=True)
+    cold = parallel.run(_campaign_jobs(scale))
+    assert not cold.failed
+    cold_stats = parallel.last_stats
+
+    # Identical payloads: the scheduler must not change the physics.
+    for a, b in zip(serial.outcome_list(), cold.outcome_list()):
+        assert a.result.payload == b.result.payload
+
+    # Warm resume: 100% cache hits, zero simulations executed.
+    resume = Orchestrator(jobs=4, cache_dir=cache_dir, resume=True)
+    warm = resume.run(_campaign_jobs(scale))
+    assert not warm.failed
+    assert resume.last_stats["executed"] == 0
+    assert resume.last_stats["cache_hits"] == len(warm.order)
+
+    # Speedup only makes sense relative to the CPU budget: on a
+    # single-core box the pool pays fork/IPC overhead with no gain.
+    try:
+        cpus = len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        cpus = os.cpu_count() or 1
+
+    summary = {
+        "scale": scale,
+        "cpus": cpus,
+        "jobs": len(cold.order),
+        "serial_wall_clock_s": serial_s,
+        "parallel_wall_clock_s": cold_stats["wall_clock_s"],
+        "speedup": serial_s / cold_stats["wall_clock_s"]
+        if cold_stats["wall_clock_s"] > 0 else None,
+        "resume_wall_clock_s": resume.last_stats["wall_clock_s"],
+        "cache_hits_on_resume": resume.last_stats["cache_hits"],
+        "events_total": cold_stats["events_total"],
+        "events_per_second": cold_stats["events_per_second"],
+        "workers": len(cold_stats["per_worker"]),
+        "per_worker": cold_stats["per_worker"],
+    }
+    out = report_dir / "orchestrate_summary.json"
+    out.write_text(json.dumps(summary, indent=2) + "\n")

@@ -5,6 +5,9 @@ Gives shell access to the library's main entry points::
     python -m repro info sf:q=13
     python -m repro simulate mlfm:h=5 --routing ugal --pattern worstcase --load 0.4
     python -m repro sweep oft:k=4 --routing min --pattern uniform --loads 0.2,0.5,0.8
+    python -m repro sweep oft:k=4 --loads 0.2,0.5,0.8 --jobs 4 --resume
+    python -m repro campaign --topologies "sf:q=5;oft:k=4" --routings min,ugal \
+        --patterns uniform,worstcase --jobs 4 --resume
     python -m repro exchange sf:q=5 --pattern a2a --routing min
     python -m repro figure fig6 --scale tiny
     python -m repro scalability --max-radix 64
@@ -192,27 +195,125 @@ def _cmd_simulate(args) -> int:
     return 0
 
 
+def _orchestration_requested(args) -> bool:
+    return args.jobs != 1 or args.resume or args.force
+
+
+def _make_orchestrator(args):
+    """Build an Orchestrator from the shared ``--jobs/--resume/...`` flags."""
+    from repro.orchestrate import Orchestrator
+
+    return Orchestrator(
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        resume=args.resume,
+        force=args.force,
+        timeout_s=args.job_timeout,
+        max_retries=args.retries,
+        telemetry_path=args.telemetry,
+        progress=True if args.progress else None,
+    )
+
+
+def _print_campaign_stats(stats) -> None:
+    jobs = stats.get("jobs", {})
+    print(
+        f"campaign: {jobs.get('done', 0)} done, {jobs.get('failed', 0)} failed, "
+        f"{stats.get('cache_hits', 0)} cache hits, {stats.get('executed', 0)} executed "
+        f"in {stats.get('wall_clock_s', 0.0):.1f}s "
+        f"({stats.get('events_per_second', 0.0) / 1e3:.0f}k events/s)"
+    )
+
+
 def _cmd_sweep(args) -> int:
     from repro.experiments import load_sweep, saturation_point
     from repro.experiments.report import ascii_table
 
     topo = parse_topology(args.topology)
     loads = [float(x) for x in args.loads.split(",")]
-    points = load_sweep(
-        topo,
-        lambda t, s: _make_routing(t, args.routing, s),
-        lambda t: _make_pattern(t, args.pattern, args.seed),
-        loads,
-        warmup_ns=args.warmup,
-        measure_ns=args.measure,
-        seed=args.seed,
-    )
+    if _orchestration_requested(args):
+        from repro.orchestrate import cli_pattern_spec, cli_routing_spec, orchestrated_load_sweep
+
+        orch = _make_orchestrator(args)
+        try:
+            points = orchestrated_load_sweep(
+                args.topology,
+                cli_routing_spec(topo, args.routing),
+                cli_pattern_spec(topo, args.pattern, seed=args.seed),
+                loads,
+                orchestrator=orch,
+                warmup_ns=args.warmup,
+                measure_ns=args.measure,
+                seed=args.seed,
+            )
+        except RuntimeError as exc:
+            # A point failed even after retries: report it like every
+            # other CLI error instead of unwinding with a traceback.
+            print(f"error: {exc}", file=sys.stderr)
+            _print_campaign_stats(orch.last_stats)
+            return 1
+    else:
+        points = load_sweep(
+            topo,
+            lambda t, s: _make_routing(t, args.routing, s),
+            lambda t: _make_pattern(t, args.pattern, args.seed),
+            loads,
+            warmup_ns=args.warmup,
+            measure_ns=args.measure,
+            seed=args.seed,
+        )
+        orch = None
     rows = [
         [p.load, p.throughput, p.mean_latency_ns, p.indirect_fraction] for p in points
     ]
     print(ascii_table(["load", "throughput", "latency ns", "indirect frac"], rows))
     print(f"saturation point: {saturation_point(points):.3f}")
+    if orch is not None:
+        _print_campaign_stats(orch.last_stats)
     return 0
+
+
+def _cmd_campaign(args) -> int:
+    """Cross-product campaign: topologies x routings x patterns x loads x seeds."""
+    from repro.experiments.export import write_json
+    from repro.experiments.report import ascii_table
+    from repro.orchestrate import cli_pattern_spec, cli_routing_spec, sweep_jobs
+
+    loads = [float(x) for x in args.loads.split(",")]
+    seeds = [int(x) for x in args.seeds.split(",")]
+    jobs = []
+    for topo_spec in args.topologies.split(";"):
+        topo = parse_topology(topo_spec)
+        for routing in args.routings.split(","):
+            for pattern in args.patterns.split(","):
+                for seed in seeds:
+                    jobs.extend(sweep_jobs(
+                        topo_spec,
+                        cli_routing_spec(topo, routing),
+                        cli_pattern_spec(topo, pattern, seed=seed),
+                        loads,
+                        warmup_ns=args.warmup,
+                        measure_ns=args.measure,
+                        seed=seed,
+                        tag=f"{topo_spec}/{routing}/{pattern}/s{seed}",
+                    ))
+    orch = _make_orchestrator(args)
+    result = orch.run(jobs)
+    rows = []
+    for job, job_id in zip(jobs, result.order):
+        outcome = result.outcomes[job_id]
+        if outcome.ok:
+            point = outcome.result.sweep_point()
+            rows.append([job.tag, job.load, point.throughput, point.mean_latency_ns,
+                         "cached" if outcome.result.cached else "run"])
+        else:
+            rows.append([job.tag, job.load, "-", "-", f"FAILED: {outcome.error}"])
+    print(ascii_table(["series", "load", "throughput", "latency ns", "status"], rows))
+    _print_campaign_stats(result.stats)
+    if args.summary_json:
+        write_json(args.summary_json, result.stats)
+        print(f"summary written to {args.summary_json}")
+    return 1 if result.failed else 0
 
 
 def _cmd_exchange(args) -> int:
@@ -240,6 +341,8 @@ def _cmd_exchange(args) -> int:
 
 
 def _cmd_figure(args) -> int:
+    import inspect
+
     from repro import experiments
 
     func = getattr(experiments, f"{args.figure}_data", None)
@@ -249,7 +352,15 @@ def _cmd_figure(args) -> int:
     if args.figure in ("table2", "fig3"):
         data = func()
     else:
-        data = func(args.scale)
+        kwargs = {}
+        orch = None
+        if (_orchestration_requested(args)
+                and "orchestrator" in inspect.signature(func).parameters):
+            orch = _make_orchestrator(args)
+            kwargs["orchestrator"] = orch
+        data = func(args.scale, **kwargs)
+        if orch is not None and orch.last_stats:
+            _print_campaign_stats(orch.last_stats)
     print(data["report"])
     return 0
 
@@ -356,6 +467,25 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--measure", type=float, default=8_000.0)
         p.add_argument("--seed", type=int, default=0)
 
+    def add_orchestration_args(p):
+        g = p.add_argument_group("orchestration (repro.orchestrate)")
+        g.add_argument("--jobs", type=int, default=1, metavar="N",
+                       help="parallel worker processes (1 = serial, in-process)")
+        g.add_argument("--resume", action="store_true",
+                       help="skip points already in the result cache")
+        g.add_argument("--force", action="store_true",
+                       help="invalidate cached results for these points and re-run")
+        g.add_argument("--cache-dir", default=".repro-cache", metavar="DIR",
+                       help="result-cache directory (default: %(default)s)")
+        g.add_argument("--job-timeout", type=float, default=None, metavar="S",
+                       help="per-job wall-clock timeout in seconds")
+        g.add_argument("--retries", type=int, default=1, metavar="K",
+                       help="extra attempts per failed/crashed job (default: %(default)s)")
+        g.add_argument("--telemetry", default=None, metavar="FILE",
+                       help="append JSONL campaign events to FILE")
+        g.add_argument("--progress", action="store_true",
+                       help="force the live progress line even when not a TTY")
+
     p = sub.add_parser("simulate", help="one synthetic-traffic simulation")
     add_sim_args(p)
     p.add_argument("--load", type=float, default=0.5)
@@ -364,7 +494,27 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("sweep", help="offered-load sweep")
     add_sim_args(p)
     p.add_argument("--loads", default="0.2,0.4,0.6,0.8")
+    add_orchestration_args(p)
     p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser(
+        "campaign",
+        help="orchestrated sweep grid: topologies x routings x patterns x seeds",
+    )
+    p.add_argument("--topologies", required=True,
+                   help="';'-separated topology specs, e.g. 'sf:q=5;oft:k=4'")
+    p.add_argument("--routings", default="min",
+                   help="comma-separated routings (min | inr | ugal | ugal-ath)")
+    p.add_argument("--patterns", default="uniform",
+                   help="comma-separated traffic patterns")
+    p.add_argument("--loads", default="0.2,0.4,0.6,0.8")
+    p.add_argument("--seeds", default="0", help="comma-separated base seeds")
+    p.add_argument("--warmup", type=float, default=2_000.0)
+    p.add_argument("--measure", type=float, default=8_000.0)
+    p.add_argument("--summary-json", default=None, metavar="FILE",
+                   help="write the campaign summary (wall-clock, cache hits, ev/s) as JSON")
+    add_orchestration_args(p)
+    p.set_defaults(func=_cmd_campaign)
 
     p = sub.add_parser("exchange", help="finite exchange (a2a | nn)")
     p.add_argument("topology")
@@ -377,6 +527,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("figure", help="regenerate a paper artefact")
     p.add_argument("figure", help="table2 | fig3 | ... | fig14 | diversity")
     p.add_argument("--scale", default="tiny", choices=["tiny", "small", "paper"])
+    add_orchestration_args(p)
     p.set_defaults(func=_cmd_figure)
 
     p = sub.add_parser("validate", help="structure/deadlock/table checks")

@@ -33,6 +33,7 @@ from repro.experiments.runner import (
     load_sweep,
     load_sweep_replicated,
     run_exchange,
+    run_sweep_point,
     saturation_point,
 )
 
@@ -44,6 +45,7 @@ __all__ = [
     "windows_for_scale",
     "SweepPoint",
     "ReplicatedPoint",
+    "run_sweep_point",
     "load_sweep",
     "load_sweep_replicated",
     "saturation_point",

@@ -39,6 +39,11 @@ class ExperimentConfig:
     #: Adaptive-routing keyword arguments that performed best for this
     #: topology under synthetic traffic (used for Figs. 13/14).
     ugal_kwargs: Dict[str, object] = field(default_factory=dict)
+    #: Declarative CLI-style topology spec (e.g. ``"sf:q=5,p=floor"``).
+    #: Needed to ship this configuration's work to orchestrator workers
+    #: (see :mod:`repro.orchestrate`); empty for ad-hoc configs, which
+    #: then only support the serial path.
+    spec: str = ""
 
     def topology(self) -> Topology:
         return self.build()
@@ -53,6 +58,29 @@ class ExperimentConfig:
         kwargs = dict(self.ugal_kwargs)
         kwargs.update(overrides)
         return UGALRouting(topology, seed=seed, **kwargs)
+
+    # -- declarative counterparts (picklable; used by repro.orchestrate) ---
+
+    def minimal_spec(self) -> Tuple[str, Dict[str, object]]:
+        return ("min", {})
+
+    def indirect_spec(self) -> Tuple[str, Dict[str, object]]:
+        return ("inr", {})
+
+    def adaptive_spec(self, **overrides) -> Tuple[str, Dict[str, object]]:
+        """The (name, kwargs) spec building the same router as :meth:`adaptive`."""
+        kwargs = dict(self.ugal_kwargs)
+        kwargs.update(overrides)
+        return ("ugal", kwargs)
+
+    def routing_spec(self, kind: str, **overrides) -> Tuple[str, Dict[str, object]]:
+        if kind in ("min", "MIN"):
+            return self.minimal_spec()
+        if kind in ("inr", "INR"):
+            return self.indirect_spec()
+        if kind in ("ugal", "adaptive", "ADAPT"):
+            return self.adaptive_spec(**overrides)
+        raise ValueError(f"unknown routing kind {kind!r}")
 
 
 def _sf_ugal(threshold: Optional[float] = None) -> Dict[str, object]:
@@ -70,10 +98,12 @@ def _oft_ugal(threshold: Optional[float] = None) -> Dict[str, object]:
 def _make(scale_params: Dict[str, Tuple]) -> List[ExperimentConfig]:
     q, h, k = scale_params["q"], scale_params["h"], scale_params["k"]
     return [
-        ExperimentConfig("sf-floor", lambda q=q: SlimFly(q, "floor"), _sf_ugal()),
-        ExperimentConfig("sf-ceil", lambda q=q: SlimFly(q, "ceil"), _sf_ugal()),
-        ExperimentConfig("mlfm", lambda h=h: MLFM(h), _mlfm_ugal()),
-        ExperimentConfig("oft", lambda k=k: OFT(k), _oft_ugal()),
+        ExperimentConfig("sf-floor", lambda q=q: SlimFly(q, "floor"), _sf_ugal(),
+                         spec=f"sf:q={q},p=floor"),
+        ExperimentConfig("sf-ceil", lambda q=q: SlimFly(q, "ceil"), _sf_ugal(),
+                         spec=f"sf:q={q},p=ceil"),
+        ExperimentConfig("mlfm", lambda h=h: MLFM(h), _mlfm_ugal(), spec=f"mlfm:h={h}"),
+        ExperimentConfig("oft", lambda k=k: OFT(k), _oft_ugal(), spec=f"oft:k={k}"),
     ]
 
 

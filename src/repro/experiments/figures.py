@@ -13,7 +13,8 @@ reproductions share one code path.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis import (
     bisection_bandwidth,
@@ -26,11 +27,13 @@ from repro.analysis import (
 from repro.analysis.cost import COST_TABLE
 from repro.experiments.configs import ExperimentConfig, configs_for_scale, windows_for_scale
 from repro.experiments.report import ascii_table
-from repro.experiments.runner import load_sweep, run_exchange, saturation_point
+from repro.experiments.runner import SweepPoint, load_sweep, run_exchange, saturation_point
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.orchestrate import Orchestrator
 from repro.topology import MLFM, OFT, SlimFly, ml3b_table
 from repro.traffic import (
     AllToAll,
-    NearestNeighbor3D,
     UniformRandom,
     paper_torus_dims,
     worst_case_traffic,
@@ -169,32 +172,62 @@ def fig5_data(scale: str = "tiny", seed: int = 0) -> Dict:
 # --------------------------------------------------------------------------
 
 
-def _sweep_rows(
-    config: ExperimentConfig,
-    routing_name: str,
-    routing_factory,
-    pattern_name: str,
-    pattern_factory,
-    loads: Sequence[float],
-    scale: str,
+@dataclass
+class _SweepTask:
+    """One named sweep of a figure: serial factories + declarative specs."""
+
+    key: str
+    config: ExperimentConfig
+    routing_factory: Callable
+    routing_spec: Tuple[str, Dict[str, object]]
+    pattern_factory: Callable
+    pattern_spec: Tuple[str, Dict[str, object]]
+    loads: Sequence[float]
+
+
+def _run_sweep_tasks(
+    tasks: Sequence[_SweepTask],
+    orchestrator: Optional["Orchestrator"],
+    warmup_ns: float,
+    measure_ns: float,
     seed: int,
-) -> List[List[object]]:
-    windows = windows_for_scale(scale)
-    topo = config.topology()
-    points = load_sweep(
-        topo,
-        routing_factory,
-        pattern_factory,
-        loads,
-        warmup_ns=windows.warmup_ns,
-        measure_ns=windows.measure_ns,
-        seed=seed,
-    )
-    return [
-        [config.key, routing_name, pattern_name, p.load, p.throughput,
-         p.mean_latency_ns, p.indirect_fraction]
-        for p in points
-    ]
+) -> Dict[str, List[SweepPoint]]:
+    """Execute every task, in parallel when an orchestrator is given.
+
+    Both paths are bit-identical for fixed seeds (the orchestrator
+    executes point ``i`` through the same
+    :func:`~repro.experiments.runner.run_sweep_point` primitive with
+    ``seed = seed + i``).  Ad-hoc configs without a declarative
+    ``spec`` fall back to the serial path.
+    """
+    use_orchestrator = orchestrator is not None and all(t.config.spec for t in tasks)
+    out: Dict[str, List[SweepPoint]] = {}
+    if not use_orchestrator:
+        topo_cache: Dict[str, object] = {}
+        for task in tasks:
+            topo = topo_cache.setdefault(task.config.key, task.config.topology())
+            out[task.key] = load_sweep(
+                topo, task.routing_factory, task.pattern_factory, task.loads,
+                warmup_ns=warmup_ns, measure_ns=measure_ns, seed=seed,
+            )
+        return out
+
+    from repro.orchestrate import points_from_outcomes, sweep_jobs
+
+    jobs = []
+    slices: Dict[str, Tuple[int, int]] = {}
+    for task in tasks:
+        task_jobs = sweep_jobs(
+            task.config.spec, task.routing_spec, task.pattern_spec, task.loads,
+            warmup_ns=warmup_ns, measure_ns=measure_ns, seed=seed, tag=task.key,
+        )
+        slices[task.key] = (len(jobs), len(task_jobs))
+        jobs.extend(task_jobs)
+    result = orchestrator.run(jobs)
+    for task in tasks:
+        start, count = slices[task.key]
+        out[task.key] = points_from_outcomes(result, result.order[start:start + count])
+    return out
 
 
 def fig6_data(
@@ -203,39 +236,45 @@ def fig6_data(
     wc_loads: Sequence[float] = WC_LOADS,
     seed: int = 0,
     configs: Optional[Sequence[ExperimentConfig]] = None,
+    orchestrator: Optional["Orchestrator"] = None,
 ) -> Dict:
     """Fig. 6: oblivious routing (MIN / INR) under uniform and worst-case.
 
     Reports throughput per offered load and the saturation point of
-    every (config, routing, pattern) combination.
+    every (config, routing, pattern) combination.  With *orchestrator*,
+    the 16 sweeps run as one parallel, cached campaign.
     """
     configs = list(configs) if configs is not None else configs_for_scale(scale)
     windows = windows_for_scale(scale)
+    tasks: List[_SweepTask] = []
+    for config in configs:
+        routings = (
+            ("MIN", config.minimal, config.minimal_spec()),
+            ("INR", config.indirect, config.indirect_spec()),
+        )
+        patterns = (
+            ("UNI", lambda t: UniformRandom(t.num_nodes), ("uniform", {}), uni_loads),
+            ("WC", lambda t: worst_case_traffic(t, seed=seed),
+             ("worstcase", {"seed": seed}), wc_loads),
+        )
+        for rname, rfactory, rspec in routings:
+            for pname, pfactory, pspec, loads in patterns:
+                tasks.append(_SweepTask(
+                    key=f"{config.key}/{rname}/{pname}", config=config,
+                    routing_factory=rfactory, routing_spec=rspec,
+                    pattern_factory=pfactory, pattern_spec=pspec, loads=loads,
+                ))
+    by_key = _run_sweep_tasks(
+        tasks, orchestrator, windows.warmup_ns, windows.measure_ns, seed
+    )
     rows: List[List[object]] = []
     saturations: Dict[str, float] = {}
-    for config in configs:
-        topo = config.topology()
-        patterns = {
-            "UNI": lambda t: UniformRandom(t.num_nodes),
-            "WC": lambda t: worst_case_traffic(t, seed=seed),
-        }
-        routings = {
-            "MIN": config.minimal,
-            "INR": config.indirect,
-        }
-        for rname, rfactory in routings.items():
-            for pname, pfactory in patterns.items():
-                loads = uni_loads if pname == "UNI" else wc_loads
-                points = load_sweep(
-                    topo, rfactory, pfactory, loads,
-                    warmup_ns=windows.warmup_ns, measure_ns=windows.measure_ns, seed=seed,
-                )
-                sat = saturation_point(points)
-                saturations[f"{config.key}/{rname}/{pname}"] = sat
-                for p in points:
-                    rows.append(
-                        [config.key, rname, pname, p.load, p.throughput, p.mean_latency_ns]
-                    )
+    for task in tasks:
+        points = by_key[task.key]
+        saturations[task.key] = saturation_point(points)
+        config_key, rname, pname = task.key.split("/")
+        for p in points:
+            rows.append([config_key, rname, pname, p.load, p.throughput, p.mean_latency_ns])
     return {
         "rows": rows,
         "saturations": saturations,
@@ -258,10 +297,12 @@ def _adaptive_parameter_figure(
     uni_loads: Sequence[float],
     wc_loads: Sequence[float],
     seed: int,
+    orchestrator: Optional["Orchestrator"] = None,
 ) -> Dict:
     """Shared engine of Figs. 7-12: UGAL parameter sensitivity sweeps."""
-    topo = config.topology()
-    rows: List[List[object]] = []
+    windows = windows_for_scale(scale)
+    tasks: List[_SweepTask] = []
+    labels: Dict[str, str] = {}
     for value in values:
         overrides = dict(fixed)
         overrides[vary] = value
@@ -270,14 +311,28 @@ def _adaptive_parameter_figure(
         def rfactory(t, s, overrides=overrides):
             return config.adaptive(t, seed=s, **overrides)
 
-        for pname, pfactory, loads in (
-            ("UNI", lambda t: UniformRandom(t.num_nodes), uni_loads),
-            ("WC", lambda t: worst_case_traffic(t, seed=seed), wc_loads),
+        for pname, pfactory, pspec, loads in (
+            ("UNI", lambda t: UniformRandom(t.num_nodes), ("uniform", {}), uni_loads),
+            ("WC", lambda t: worst_case_traffic(t, seed=seed),
+             ("worstcase", {"seed": seed}), wc_loads),
         ):
-            rows.extend(
-                _sweep_rows(config, f"{vary}={value:g}", rfactory, pname, pfactory,
-                            loads, scale, seed)
-            )
+            key = f"{config.key}/{vary}={value:g}/{pname}"
+            labels[key] = f"{vary}={value:g}"
+            tasks.append(_SweepTask(
+                key=key, config=config,
+                routing_factory=rfactory,
+                routing_spec=config.adaptive_spec(**overrides),
+                pattern_factory=pfactory, pattern_spec=pspec, loads=loads,
+            ))
+    by_key = _run_sweep_tasks(
+        tasks, orchestrator, windows.warmup_ns, windows.measure_ns, seed
+    )
+    rows: List[List[object]] = []
+    for task in tasks:
+        pname = task.key.rsplit("/", 1)[-1]
+        for p in by_key[task.key]:
+            rows.append([config.key, labels[task.key], pname, p.load, p.throughput,
+                         p.mean_latency_ns, p.indirect_fraction])
     return {
         "rows": rows,
         "report": ascii_table(
@@ -296,105 +351,170 @@ def _config_by_key(scale: str, key: str) -> ExperimentConfig:
 
 
 def fig7_data(scale="tiny", uni_loads=UNI_LOADS, wc_loads=WC_LOADS, seed=0,
+              orchestrator=None,
               ni_values=(1, 2, 4), csf_values=(0.5, 1.0, 2.0)) -> Dict:
     """Fig. 7: SF-A sensitivity to nI (cSF = 1) and cSF (nI = 4)."""
     config = _config_by_key(scale, "sf-floor")
     part_a = _adaptive_parameter_figure(
         config, "Fig. 7a: SF-A varying nI (cSF=1)", "num_indirect", ni_values,
-        {"cost_mode": "sf", "c_sf": 1.0}, None, scale, uni_loads, wc_loads, seed)
+        {"cost_mode": "sf", "c_sf": 1.0}, None, scale, uni_loads, wc_loads, seed,
+        orchestrator=orchestrator)
     part_b = _adaptive_parameter_figure(
         config, "Fig. 7b: SF-A varying cSF (nI=4)", "c_sf", csf_values,
-        {"cost_mode": "sf", "num_indirect": 4}, None, scale, uni_loads, wc_loads, seed)
+        {"cost_mode": "sf", "num_indirect": 4}, None, scale, uni_loads, wc_loads, seed,
+        orchestrator=orchestrator)
     return {"a": part_a, "b": part_b, "report": part_a["report"] + "\n\n" + part_b["report"]}
 
 
 def fig8_data(scale="tiny", uni_loads=UNI_LOADS, wc_loads=WC_LOADS, seed=0,
+              orchestrator=None,
               ni_values=(1, 2, 4), csf_values=(0.5, 1.0, 2.0), threshold=0.10) -> Dict:
     """Fig. 8: SF-ATh (T = 10%) sensitivity to nI and cSF."""
     config = _config_by_key(scale, "sf-floor")
     part_a = _adaptive_parameter_figure(
         config, f"Fig. 8a: SF-ATh varying nI (cSF=1, T={threshold:.0%})",
         "num_indirect", ni_values, {"cost_mode": "sf", "c_sf": 1.0},
-        threshold, scale, uni_loads, wc_loads, seed)
+        threshold, scale, uni_loads, wc_loads, seed,
+        orchestrator=orchestrator)
     part_b = _adaptive_parameter_figure(
         config, f"Fig. 8b: SF-ATh varying cSF (nI=4, T={threshold:.0%})",
         "c_sf", csf_values, {"cost_mode": "sf", "num_indirect": 4},
-        threshold, scale, uni_loads, wc_loads, seed)
+        threshold, scale, uni_loads, wc_loads, seed,
+        orchestrator=orchestrator)
     return {"a": part_a, "b": part_b, "report": part_a["report"] + "\n\n" + part_b["report"]}
 
 
 def fig9_data(scale="tiny", uni_loads=UNI_LOADS, wc_loads=WC_LOADS, seed=0,
+              orchestrator=None,
               ni_values=(1, 2, 5), c_values=(1.0, 2.0, 4.0)) -> Dict:
     """Fig. 9: MLFM-A sensitivity to nI (c = 2) and c (nI = 5)."""
     config = _config_by_key(scale, "mlfm")
     part_a = _adaptive_parameter_figure(
         config, "Fig. 9a: MLFM-A varying nI (c=2)", "num_indirect", ni_values,
-        {"cost_mode": "const", "c": 2.0}, None, scale, uni_loads, wc_loads, seed)
+        {"cost_mode": "const", "c": 2.0}, None, scale, uni_loads, wc_loads, seed,
+        orchestrator=orchestrator)
     part_b = _adaptive_parameter_figure(
         config, "Fig. 9b: MLFM-A varying c (nI=5)", "c", c_values,
-        {"cost_mode": "const", "num_indirect": 5}, None, scale, uni_loads, wc_loads, seed)
+        {"cost_mode": "const", "num_indirect": 5}, None, scale, uni_loads, wc_loads, seed,
+        orchestrator=orchestrator)
     return {"a": part_a, "b": part_b, "report": part_a["report"] + "\n\n" + part_b["report"]}
 
 
 def fig10_data(scale="tiny", uni_loads=UNI_LOADS, wc_loads=WC_LOADS, seed=0,
+              orchestrator=None,
                ni_values=(1, 2, 5), c_values=(1.0, 2.0, 4.0)) -> Dict:
     """Fig. 10: OFT-A sensitivity to nI (c = 2) and c (nI = 1)."""
     config = _config_by_key(scale, "oft")
     part_a = _adaptive_parameter_figure(
         config, "Fig. 10a: OFT-A varying nI (c=2)", "num_indirect", ni_values,
-        {"cost_mode": "const", "c": 2.0}, None, scale, uni_loads, wc_loads, seed)
+        {"cost_mode": "const", "c": 2.0}, None, scale, uni_loads, wc_loads, seed,
+        orchestrator=orchestrator)
     part_b = _adaptive_parameter_figure(
         config, "Fig. 10b: OFT-A varying c (nI=1)", "c", c_values,
-        {"cost_mode": "const", "num_indirect": 1}, None, scale, uni_loads, wc_loads, seed)
+        {"cost_mode": "const", "num_indirect": 1}, None, scale, uni_loads, wc_loads, seed,
+        orchestrator=orchestrator)
     return {"a": part_a, "b": part_b, "report": part_a["report"] + "\n\n" + part_b["report"]}
 
 
 def fig11_data(scale="tiny", uni_loads=UNI_LOADS, wc_loads=WC_LOADS, seed=0,
+              orchestrator=None,
                ni_values=(1, 2, 5), c_values=(1.0, 2.0, 4.0), threshold=0.10) -> Dict:
     """Fig. 11: MLFM-ATh (T = 10%) sensitivity to nI and c."""
     config = _config_by_key(scale, "mlfm")
     part_a = _adaptive_parameter_figure(
         config, f"Fig. 11a: MLFM-ATh varying nI (c=2, T={threshold:.0%})",
         "num_indirect", ni_values, {"cost_mode": "const", "c": 2.0},
-        threshold, scale, uni_loads, wc_loads, seed)
+        threshold, scale, uni_loads, wc_loads, seed,
+        orchestrator=orchestrator)
     part_b = _adaptive_parameter_figure(
         config, f"Fig. 11b: MLFM-ATh varying c (nI=5, T={threshold:.0%})",
         "c", c_values, {"cost_mode": "const", "num_indirect": 5},
-        threshold, scale, uni_loads, wc_loads, seed)
+        threshold, scale, uni_loads, wc_loads, seed,
+        orchestrator=orchestrator)
     return {"a": part_a, "b": part_b, "report": part_a["report"] + "\n\n" + part_b["report"]}
 
 
 def fig12_data(scale="tiny", uni_loads=UNI_LOADS, wc_loads=WC_LOADS, seed=0,
+              orchestrator=None,
                ni_values=(1, 2, 5), c_values=(1.0, 2.0, 4.0), threshold=0.10) -> Dict:
     """Fig. 12: OFT-ATh (T = 10%) sensitivity to nI and c."""
     config = _config_by_key(scale, "oft")
     part_a = _adaptive_parameter_figure(
         config, f"Fig. 12a: OFT-ATh varying nI (c=2, T={threshold:.0%})",
         "num_indirect", ni_values, {"cost_mode": "const", "c": 2.0},
-        threshold, scale, uni_loads, wc_loads, seed)
+        threshold, scale, uni_loads, wc_loads, seed,
+        orchestrator=orchestrator)
     part_b = _adaptive_parameter_figure(
         config, f"Fig. 12b: OFT-ATh varying c (nI=1, T={threshold:.0%})",
         "c", c_values, {"cost_mode": "const", "num_indirect": 1},
-        threshold, scale, uni_loads, wc_loads, seed)
+        threshold, scale, uni_loads, wc_loads, seed,
+        orchestrator=orchestrator)
     return {"a": part_a, "b": part_b, "report": part_a["report"] + "\n\n" + part_b["report"]}
 
 
+def _run_exchange_tasks(
+    tasks: Sequence[Tuple[str, ExperimentConfig, Callable, Tuple[str, Dict[str, object]],
+                          Tuple[str, Dict[str, object]]]],
+    orchestrator: Optional["Orchestrator"],
+    seed: int,
+) -> Dict[str, Dict[str, float]]:
+    """Figs. 13/14 engine: run named finite exchanges, parallel if possible.
+
+    Each task is ``(key, config, routing_factory, routing_spec,
+    exchange_spec)``; returns the :func:`run_exchange` result dict per
+    key.  Exchange objects are rebuilt per run in both paths (they are
+    stateless descriptions), so serial and orchestrated results match.
+    """
+    use_orchestrator = orchestrator is not None and all(t[1].spec for t in tasks)
+    out: Dict[str, Dict[str, float]] = {}
+    if not use_orchestrator:
+        from repro.orchestrate.job import _build_exchange  # shared builder
+
+        topo_cache: Dict[str, object] = {}
+        for key, config, rfactory, _rspec, (xname, xkwargs) in tasks:
+            topo = topo_cache.setdefault(config.key, config.topology())
+            exchange = _build_exchange(xname, xkwargs, topo)
+            out[key] = run_exchange(topo, rfactory, exchange, seed=seed)
+        return out
+
+    from repro.orchestrate import exchange_job
+
+    jobs = [
+        exchange_job(config.spec, rspec, xspec, seed=seed, tag=key)
+        for key, config, _rfactory, rspec, xspec in tasks
+    ]
+    result = orchestrator.run(jobs)
+    for (key, *_), job_id in zip(tasks, result.order):
+        outcome = result.outcomes[job_id]
+        if not outcome.ok or outcome.result is None:
+            raise RuntimeError(f"exchange job {job_id} ({key}) failed: {outcome.error}")
+        out[key] = outcome.result.payload
+    return out
+
+
 def fig13_data(scale: str = "tiny", seed: int = 0,
-               configs: Optional[Sequence[ExperimentConfig]] = None) -> Dict:
+               configs: Optional[Sequence[ExperimentConfig]] = None,
+               orchestrator: Optional["Orchestrator"] = None) -> Dict:
     """Fig. 13: effective throughput of one all-to-all exchange."""
     configs = list(configs) if configs is not None else configs_for_scale(scale)
     windows = windows_for_scale(scale)
+    tasks = []
+    for config in configs:
+        xspec = ("a2a", {"message_bytes": windows.a2a_message_bytes, "seed": seed})
+        for rname, rfactory, rspec in (
+            ("MIN", config.minimal, config.minimal_spec()),
+            ("INR", config.indirect, config.indirect_spec()),
+            ("ADAPT", config.adaptive, config.adaptive_spec()),
+        ):
+            tasks.append((f"{config.key}/{rname}", config, rfactory, rspec, xspec))
+    by_key = _run_exchange_tasks(tasks, orchestrator, seed)
     rows: List[List[object]] = []
     results: Dict[str, float] = {}
-    for config in configs:
-        topo = config.topology()
-        exchange = AllToAll(topo.num_nodes, message_bytes=windows.a2a_message_bytes, seed=seed)
-        for rname, rfactory in (("MIN", config.minimal), ("INR", config.indirect),
-                                ("ADAPT", config.adaptive)):
-            res = run_exchange(topo, rfactory, exchange, seed=seed)
-            eff = res["effective_throughput"]
-            results[f"{config.key}/{rname}"] = eff
-            rows.append([config.key, rname, eff, res["completion_ns"]])
+    for key, config, *_ in tasks:
+        res = by_key[key]
+        eff = res["effective_throughput"]
+        results[key] = eff
+        rows.append([config.key, key.rsplit("/", 1)[-1], eff, res["completion_ns"]])
     return {
         "results": results,
         "rows": rows,
@@ -407,24 +527,31 @@ def fig13_data(scale: str = "tiny", seed: int = 0,
 
 
 def fig14_data(scale: str = "tiny", seed: int = 0,
-               configs: Optional[Sequence[ExperimentConfig]] = None) -> Dict:
+               configs: Optional[Sequence[ExperimentConfig]] = None,
+               orchestrator: Optional["Orchestrator"] = None) -> Dict:
     """Fig. 14: effective throughput of one nearest-neighbour exchange."""
     configs = list(configs) if configs is not None else configs_for_scale(scale)
     windows = windows_for_scale(scale)
+    tasks = []
+    dims_of: Dict[str, Tuple[int, int, int]] = {}
+    for config in configs:
+        dims_of[config.key] = paper_torus_dims(config.topology())
+        xspec = ("nn", {"message_bytes": windows.nn_message_bytes})
+        for rname, rfactory, rspec in (
+            ("MIN", config.minimal, config.minimal_spec()),
+            ("INR", config.indirect, config.indirect_spec()),
+            ("ADAPT", config.adaptive, config.adaptive_spec()),
+        ):
+            tasks.append((f"{config.key}/{rname}", config, rfactory, rspec, xspec))
+    by_key = _run_exchange_tasks(tasks, orchestrator, seed)
     rows: List[List[object]] = []
     results: Dict[str, float] = {}
-    for config in configs:
-        topo = config.topology()
-        dims = paper_torus_dims(topo)
-        exchange = NearestNeighbor3D(
-            topo.num_nodes, message_bytes=windows.nn_message_bytes, dims=dims
-        )
-        for rname, rfactory in (("MIN", config.minimal), ("INR", config.indirect),
-                                ("ADAPT", config.adaptive)):
-            res = run_exchange(topo, rfactory, exchange, seed=seed)
-            eff = res["effective_throughput"]
-            results[f"{config.key}/{rname}"] = eff
-            rows.append([config.key, f"{dims[0]}x{dims[1]}x{dims[2]}", rname, eff])
+    for key, config, *_ in tasks:
+        eff = by_key[key]["effective_throughput"]
+        results[key] = eff
+        dims = dims_of[config.key]
+        rows.append([config.key, f"{dims[0]}x{dims[1]}x{dims[2]}",
+                     key.rsplit("/", 1)[-1], eff])
     return {
         "results": results,
         "rows": rows,

@@ -17,6 +17,7 @@ from repro.topology.base import Topology
 __all__ = [
     "SweepPoint",
     "ReplicatedPoint",
+    "run_sweep_point",
     "load_sweep",
     "load_sweep_replicated",
     "saturation_point",
@@ -40,6 +41,48 @@ class SweepPoint:
         return self.throughput >= self.load * (1.0 - tolerance)
 
 
+def run_sweep_point(
+    topology: Topology,
+    routing: RoutingAlgorithm,
+    pattern: object,
+    load: float,
+    warmup_ns: float = 2_000.0,
+    measure_ns: float = 6_000.0,
+    traffic_seed: int = 0,
+    arrival: str = "poisson",
+    config: SimConfig = PAPER_CONFIG,
+    stats_out: Optional[dict] = None,
+) -> SweepPoint:
+    """Simulate one (topology, routing, pattern, load) point.
+
+    This is the single-point primitive shared by the serial
+    :func:`load_sweep` and the parallel :mod:`repro.orchestrate`
+    executor, so both paths are bit-identical by construction.  If
+    *stats_out* is given, kernel telemetry (``events_executed``) is
+    written into it for throughput accounting.
+    """
+    net = Network(topology, routing, config)
+    stats = net.run_synthetic(
+        pattern,
+        load=load,
+        warmup_ns=warmup_ns,
+        measure_ns=measure_ns,
+        arrival=arrival,
+        seed=traffic_seed,
+    )
+    if stats_out is not None:
+        stats_out["events_executed"] = net.engine.events_executed
+    total_kinds = sum(stats.kind_counts.values()) or 1
+    return SweepPoint(
+        load=load,
+        throughput=stats.throughput,
+        mean_latency_ns=stats.mean_latency_ns,
+        p99_latency_ns=stats.p99_latency_ns,
+        ejected_packets=stats.ejected_packets,
+        indirect_fraction=stats.kind_counts.get("indirect", 0) / total_kinds,
+    )
+
+
 def load_sweep(
     topology: Topology,
     routing_factory: Callable[[Topology, int], RoutingAlgorithm],
@@ -56,27 +99,25 @@ def load_sweep(
     ``routing_factory(topology, seed)`` and ``pattern_factory(topology)``
     build fresh per-point instances, so adaptive-routing RNG state and
     network state never leak between points.
+
+    For multi-core execution of large sweeps, build declarative jobs
+    instead and run them through :mod:`repro.orchestrate` (see
+    ``orchestrate.sweeps.orchestrated_load_sweep``); point ``i`` of this
+    serial loop corresponds exactly to a job with ``seed = seed + i``.
     """
     points: List[SweepPoint] = []
     for i, load in enumerate(loads):
-        net = Network(topology, routing_factory(topology, seed + i), config)
-        stats = net.run_synthetic(
-            pattern_factory(topology),
-            load=load,
-            warmup_ns=warmup_ns,
-            measure_ns=measure_ns,
-            arrival=arrival,
-            seed=seed + 1000 + i,
-        )
-        total_kinds = sum(stats.kind_counts.values()) or 1
         points.append(
-            SweepPoint(
-                load=load,
-                throughput=stats.throughput,
-                mean_latency_ns=stats.mean_latency_ns,
-                p99_latency_ns=stats.p99_latency_ns,
-                ejected_packets=stats.ejected_packets,
-                indirect_fraction=stats.kind_counts.get("indirect", 0) / total_kinds,
+            run_sweep_point(
+                topology,
+                routing_factory(topology, seed + i),
+                pattern_factory(topology),
+                load,
+                warmup_ns=warmup_ns,
+                measure_ns=measure_ns,
+                traffic_seed=seed + 1000 + i,
+                arrival=arrival,
+                config=config,
             )
         )
     return points

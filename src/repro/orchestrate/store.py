@@ -1,0 +1,109 @@
+"""Disk-backed result cache keyed by job content hash.
+
+Layout on disk (one JSON file per completed job, sharded by hash
+prefix so directories stay small even for million-point campaigns)::
+
+    <root>/
+      <hh>/                     # first two hex digits of the hash
+        <full-hash>.json        # {"version", "job", "result", "created"}
+
+A file is written atomically (temp file + ``os.replace``), so a killed
+campaign never leaves a truncated entry behind; a corrupt or
+version-mismatched entry reads as a miss, not an error.  Checkpoint and
+resume fall out of the keying: re-running a campaign looks every job up
+by hash, skips the hits and executes only the remainder.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import tempfile
+import time
+from typing import Iterator, Optional, Union
+
+from repro.orchestrate.job import CACHE_VERSION, Job, JobResult
+
+__all__ = ["ResultStore"]
+
+PathLike = Union[str, pathlib.Path]
+
+
+class ResultStore:
+    """Content-addressed store of :class:`JobResult` values."""
+
+    def __init__(self, root: PathLike):
+        self.root = pathlib.Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, key: str) -> pathlib.Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, job: Job) -> Optional[JobResult]:
+        """The cached result for *job*, or None on miss/corruption."""
+        path = self.path_for(job.content_hash())
+        try:
+            with path.open() as fh:
+                entry = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            return None
+        if entry.get("version") != CACHE_VERSION:
+            return None
+        try:
+            result = JobResult.from_dict(entry["result"])
+        except (KeyError, TypeError):
+            return None
+        result.cached = True
+        return result
+
+    def put(self, job: Job, result: JobResult) -> pathlib.Path:
+        """Persist *result* under *job*'s content hash (atomically)."""
+        path = self.path_for(job.content_hash())
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "version": CACHE_VERSION,
+            "created": time.time(),
+            "job": job.to_dict(),
+            "result": result.to_dict(),
+        }
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(entry, fh)
+                fh.write("\n")
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def invalidate(self, job: Job) -> bool:
+        """Drop *job*'s cached entry; True if one existed."""
+        path = self.path_for(job.content_hash())
+        try:
+            path.unlink()
+            return True
+        except OSError:
+            return False
+
+    def keys(self) -> Iterator[str]:
+        for path in sorted(self.root.glob("??/*.json")):
+            yield path.stem
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())
+
+    def clear(self) -> int:
+        """Remove every entry; returns the number removed."""
+        removed = 0
+        for path in self.root.glob("??/*.json"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed

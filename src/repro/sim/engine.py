@@ -37,8 +37,26 @@ class Engine:
 
     def schedule_at(self, when: float, fn: Callable, *args: Any) -> None:
         """Run ``fn(*args)`` at absolute time *when* (>= now)."""
+        if when < self.now:
+            raise ValueError(
+                f"schedule_at(when={when!r}) is in the past (now={self.now!r}); "
+                f"events cannot be scheduled before the current simulated time"
+            )
         self._seq += 1
         heappush(self._heap, (when, self._seq, fn, args))
+
+    def clear(self) -> None:
+        """Reset to a pristine state: empty queue, clock at zero.
+
+        Long-lived processes that reuse an engine across experiments
+        (e.g. pooled orchestrator workers) call this between runs so no
+        stale events or clock state leak from one simulation into the
+        next.  All counters (including ``events_executed``) restart.
+        """
+        self.now = 0.0
+        self._heap.clear()
+        self._seq = 0
+        self.events_executed = 0
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
         """Execute events in timestamp order.

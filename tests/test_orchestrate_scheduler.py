@@ -1,0 +1,184 @@
+"""Scheduler fault tolerance: crashes, exceptions, timeouts, retries.
+
+Probe jobs (``kind="probe"``) exercise each failure mode from inside a
+real worker process: ``raise`` reports an exception, ``exit`` kills the
+worker without a result (``os._exit``), ``sleep`` overstays a per-job
+timeout.  In every case the campaign must finish, the broken job must
+be charged its retries and marked ``failed``, and every healthy job
+must complete.
+"""
+
+import pytest
+
+from repro.orchestrate import (
+    Job,
+    JobResult,
+    ProcessPoolScheduler,
+    SerialScheduler,
+    Telemetry,
+    make_scheduler,
+    run_campaign,
+    run_job,
+)
+
+
+def probe(behavior="ok", seed=0, **params):
+    params = {"behavior": behavior, **params}
+    return Job(kind="probe", seed=seed, params=params)
+
+
+class TestRunJob:
+    def test_probe_ok(self):
+        result = run_job(probe(value=7))
+        assert isinstance(result, JobResult)
+        assert result.payload == {"value": 7}
+        assert result.worker_pid > 0
+
+    def test_probe_raise(self):
+        with pytest.raises(RuntimeError, match="asked to raise"):
+            run_job(probe("raise"))
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown job kind"):
+            run_job(Job(kind="nope"))
+
+
+class TestSerialScheduler:
+    def test_runs_in_order(self):
+        sched = SerialScheduler()
+        items = [(f"j{i}", probe(value=i, seed=i)) for i in range(3)]
+        outcomes = sched.run(items)
+        assert [outcomes[f"j{i}"].result.payload["value"] for i in range(3)] == [0, 1, 2]
+
+    def test_exception_retried_then_failed(self):
+        sched = SerialScheduler(max_retries=2)
+        outcomes = sched.run([("bad", probe("raise"))])
+        assert outcomes["bad"].status == "failed"
+        assert outcomes["bad"].attempts == 3
+        assert "asked to raise" in outcomes["bad"].error
+
+    def test_failure_does_not_abort_remaining_jobs(self):
+        sched = SerialScheduler(max_retries=0)
+        outcomes = sched.run([("bad", probe("raise")), ("good", probe(value=1))])
+        assert outcomes["bad"].status == "failed"
+        assert outcomes["good"].ok
+
+
+class TestProcessPoolScheduler:
+    def test_all_jobs_complete(self):
+        sched = ProcessPoolScheduler(num_workers=3, retry_backoff_s=0.01)
+        items = [(f"j{i}", probe(value=i, seed=i)) for i in range(8)]
+        outcomes = sched.run(items)
+        assert len(outcomes) == 8
+        assert all(o.ok for o in outcomes.values())
+        assert {o.result.payload["value"] for o in outcomes.values()} == set(range(8))
+
+    def test_worker_crash_is_retried_then_failed_without_aborting(self):
+        sched = ProcessPoolScheduler(
+            num_workers=2, max_retries=1, retry_backoff_s=0.01
+        )
+        items = [("crash", probe("exit", code=3))] + [
+            (f"ok{i}", probe(value=i, seed=i)) for i in range(4)
+        ]
+        events = []
+        outcomes = sched.run(items, on_event=lambda t, **p: events.append(t))
+        crash = outcomes["crash"]
+        assert crash.status == "failed"
+        assert crash.attempts == 2  # first try + one retry, both crash
+        assert "crashed" in crash.error
+        assert all(outcomes[f"ok{i}"].ok for i in range(4))
+        assert events.count("worker_crash") == 2
+        assert "job_retry" in events
+
+    def test_exception_in_worker_is_reported_not_fatal(self):
+        sched = ProcessPoolScheduler(num_workers=2, max_retries=0)
+        outcomes = sched.run(
+            [("bad", probe("raise")), ("good", probe(value=2))]
+        )
+        assert outcomes["bad"].status == "failed"
+        assert "asked to raise" in outcomes["bad"].error
+        assert outcomes["good"].ok
+
+    def test_timeout_kills_and_fails_the_job(self):
+        sched = ProcessPoolScheduler(
+            num_workers=2, timeout_s=0.3, max_retries=0, retry_backoff_s=0.01
+        )
+        outcomes = sched.run(
+            [("slow", probe("sleep", seconds=60)), ("fast", probe(value=1))]
+        )
+        assert outcomes["slow"].status == "failed"
+        assert "timed out" in outcomes["slow"].error
+        assert outcomes["fast"].ok
+
+    def test_results_attribute_worker_pids(self):
+        sched = ProcessPoolScheduler(num_workers=2)
+        outcomes = sched.run([(f"j{i}", probe(value=i, seed=i)) for i in range(4)])
+        pids = {o.result.worker_pid for o in outcomes.values()}
+        assert all(pid > 0 for pid in pids)
+
+    def test_rejects_bad_worker_count(self):
+        with pytest.raises(ValueError):
+            ProcessPoolScheduler(num_workers=0)
+
+
+class TestMakeScheduler:
+    def test_dispatch(self):
+        assert isinstance(make_scheduler(1), SerialScheduler)
+        assert isinstance(make_scheduler(4), ProcessPoolScheduler)
+
+
+class TestCampaignDegradation:
+    def test_failed_job_recorded_not_fatal(self, tmp_path):
+        jobs = [probe(value=1, seed=1), probe("raise"), probe(value=2, seed=2)]
+        result = run_campaign(
+            jobs, scheduler=make_scheduler(2, max_retries=1, retry_backoff_s=0.01)
+        )
+        outcomes = result.outcome_list()
+        assert [o.status for o in outcomes] == ["done", "failed", "done"]
+        with pytest.raises(RuntimeError, match="1 of 3 campaign jobs failed"):
+            result.raise_on_failure()
+
+    def test_failed_jobs_are_not_cached(self, tmp_path):
+        from repro.orchestrate import Orchestrator
+
+        orch = Orchestrator(
+            jobs=2, cache_dir=tmp_path, resume=True, max_retries=0,
+            retry_backoff_s=0.01,
+        )
+        first = orch.run([probe("raise"), probe(value=3, seed=3)])
+        assert [o.status for o in first.outcome_list()] == ["failed", "done"]
+        # Re-run: the failure is retried (cache has no poison entry), the
+        # success comes back from cache.
+        second = Orchestrator(jobs=2, cache_dir=tmp_path, resume=True,
+                              max_retries=0).run([probe("raise"), probe(value=3, seed=3)])
+        assert second.stats["cache_hits"] == 1
+        assert second.stats["executed"] == 1
+
+    def test_telemetry_counters(self):
+        tele = Telemetry(live=False)
+        jobs = [probe(value=i, seed=i) for i in range(3)] + [probe("raise")]
+        run_campaign(
+            jobs,
+            scheduler=make_scheduler(2, max_retries=1, retry_backoff_s=0.01),
+            telemetry=tele,
+        )
+        summary = tele.summary()
+        assert summary["jobs"]["done"] == 3
+        assert summary["jobs"]["failed"] == 1
+        assert summary["jobs"]["retries"] == 1
+        assert summary["jobs"]["total"] == 4
+        assert summary["wall_clock_s"] > 0
+
+    def test_telemetry_jsonl_stream(self, tmp_path):
+        import json
+
+        path = tmp_path / "events.jsonl"
+        with Telemetry(jsonl_path=path, live=False) as tele:
+            run_campaign([probe(value=1, seed=1)],
+                         scheduler=SerialScheduler(), telemetry=tele)
+        events = [json.loads(line) for line in path.read_text().splitlines()]
+        types = [e["type"] for e in events]
+        assert types[0] == "campaign_start"
+        assert "job_start" in types and "job_done" in types
+        assert types[-1] == "campaign_end"
+        assert all("ts" in e for e in events)

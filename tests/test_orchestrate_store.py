@@ -1,0 +1,161 @@
+"""ResultStore cache keying and persistence semantics.
+
+The cache contract: *every* result-determining field of a job spec —
+including each SimConfig value and the seed — participates in the
+content hash, while presentation-only fields (``tag``) do not.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.orchestrate import CACHE_VERSION, Job, JobResult, ResultStore, sim_config_dict
+from repro.sim.config import SimConfig
+
+
+def make_job(**overrides) -> Job:
+    base = dict(
+        kind="sweep",
+        topology="sf:q=5,p=floor",
+        routing="ugal",
+        routing_kwargs={"cost_mode": "sf", "c_sf": 1.0, "num_indirect": 4},
+        pattern="worstcase",
+        pattern_kwargs={"seed": 3},
+        load=0.4,
+        seed=7,
+        warmup_ns=200.0,
+        measure_ns=600.0,
+        arrival="poisson",
+        config=sim_config_dict(SimConfig()),
+    )
+    base.update(overrides)
+    return Job(**base)
+
+
+class TestContentHash:
+    def test_identical_specs_share_a_hash(self):
+        assert make_job().content_hash() == make_job().content_hash()
+
+    def test_every_scalar_field_changes_the_hash(self):
+        base = make_job().content_hash()
+        variants = [
+            make_job(kind="exchange"),
+            make_job(topology="sf:q=5,p=ceil"),
+            make_job(routing="min", routing_kwargs={}),
+            make_job(pattern="uniform", pattern_kwargs={}),
+            make_job(load=0.5),
+            make_job(seed=8),
+            make_job(warmup_ns=300.0),
+            make_job(measure_ns=700.0),
+            make_job(arrival="bernoulli"),
+            make_job(params={"extra": 1}),
+        ]
+        hashes = [job.content_hash() for job in variants]
+        assert base not in hashes
+        assert len(set(hashes)) == len(hashes)
+
+    def test_routing_kwargs_values_change_the_hash(self):
+        base = make_job().content_hash()
+        tweaked = make_job(
+            routing_kwargs={"cost_mode": "sf", "c_sf": 2.0, "num_indirect": 4}
+        )
+        assert tweaked.content_hash() != base
+
+    def test_pattern_seed_changes_the_hash(self):
+        assert make_job(pattern_kwargs={"seed": 4}).content_hash() != make_job().content_hash()
+
+    def test_every_sim_config_field_changes_the_hash(self):
+        base = make_job().content_hash()
+        defaults = SimConfig()
+        bumped = {
+            "link_bandwidth_gbps": 200.0,
+            "link_latency_ns": 60.0,
+            "switch_latency_ns": 120.0,
+            "buffer_bytes_per_port": 50_000,
+            "packet_bytes": 512,
+        }
+        for field in dataclasses.fields(defaults):
+            config = sim_config_dict(defaults)
+            config[field.name] = bumped[field.name]
+            assert make_job(config=config).content_hash() != base, field.name
+
+    def test_tag_is_presentation_only(self):
+        assert make_job(tag="fig6/sf").content_hash() == make_job(tag="other").content_hash()
+
+    def test_roundtrip_through_dict(self):
+        job = make_job(tag="x")
+        clone = Job.from_dict(json.loads(json.dumps(job.to_dict())))
+        assert clone == job
+        assert clone.content_hash() == job.content_hash()
+
+
+class TestResultStore:
+    def result(self) -> JobResult:
+        return JobResult(
+            kind="sweep",
+            payload={
+                "load": 0.4, "throughput": 0.39, "mean_latency_ns": 512.0,
+                "p99_latency_ns": 900.0, "ejected_packets": 123,
+                "indirect_fraction": 0.25,
+            },
+            events=10_000,
+            duration_s=1.5,
+            worker_pid=4242,
+        )
+
+    def test_miss_then_hit(self, tmp_path):
+        store = ResultStore(tmp_path / "cache")
+        job = make_job()
+        assert store.get(job) is None
+        store.put(job, self.result())
+        hit = store.get(job)
+        assert hit is not None
+        assert hit.cached is True
+        assert hit.payload == self.result().payload
+        assert hit.sweep_point().throughput == pytest.approx(0.39)
+        assert len(store) == 1
+
+    def test_changed_spec_misses(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(make_job(), self.result())
+        assert store.get(make_job(seed=8)) is None
+        assert store.get(make_job(load=0.5)) is None
+        config = sim_config_dict(SimConfig(packet_bytes=512))
+        assert store.get(make_job(config=config)) is None
+
+    def test_relabel_still_hits(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(make_job(tag="first"), self.result())
+        assert store.get(make_job(tag="second")) is not None
+
+    def test_invalidate(self, tmp_path):
+        store = ResultStore(tmp_path)
+        job = make_job()
+        store.put(job, self.result())
+        assert store.invalidate(job) is True
+        assert store.get(job) is None
+        assert store.invalidate(job) is False
+
+    def test_corrupt_entry_reads_as_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        job = make_job()
+        path = store.put(job, self.result())
+        path.write_text("{ not json")
+        assert store.get(job) is None
+
+    def test_version_mismatch_reads_as_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        job = make_job()
+        path = store.put(job, self.result())
+        entry = json.loads(path.read_text())
+        entry["version"] = CACHE_VERSION + 1
+        path.write_text(json.dumps(entry))
+        assert store.get(job) is None
+
+    def test_clear(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(make_job(), self.result())
+        store.put(make_job(seed=8), self.result())
+        assert store.clear() == 2
+        assert len(store) == 0
