@@ -1,0 +1,78 @@
+"""Collective-workload engine benchmark.
+
+Drives each registered schedule once on the tiny Slim Fly under
+minimal routing and records, per schedule type, the simulated
+completion time, the DAG critical-path bound, the contention stretch,
+and the *driver overhead* -- wall-clock seconds and simulator events
+spent per delivered packet -- to
+``benchmarks/out/workload_summary.json``.  This tracks both the
+physics (does a schedule suddenly complete slower?) and the engine
+cost (did the closed-loop release machinery get more expensive?).
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.experiments.configs import SCALES
+from repro.routing import MinimalRouting
+from repro.sim import Network
+from repro.topology import SlimFly
+from repro.workload import build_workload
+
+#: message_bytes per schedule, sized so every schedule moves real data
+#: but the whole benchmark stays in unit-test time at tiny scale.
+SCHEDULES = {
+    "ring-allreduce": 16_384,
+    "rd-allreduce": 8_192,
+    "allgather": 4_096,
+    "halo3d": 8_192,
+    "phased-a2a": 512,
+}
+
+
+def test_bench_workload_schedules(scale, report_dir):
+    q = SCALES[scale]["q"]
+    topo = SlimFly(q)
+
+    per_schedule = {}
+    for name, message_bytes in SCHEDULES.items():
+        workload = build_workload(name, topo.num_nodes, message_bytes)
+        net = Network(topo, MinimalRouting(topo, seed=1))
+        res = net.run_workload(workload)
+
+        assert res["messages"] == workload.num_messages
+        assert res["contention_stretch"] >= 1.0
+
+        wall_s = res["driver_wall_s"]
+        per_schedule[name] = {
+            "message_bytes": message_bytes,
+            "messages": res["messages"],
+            "packets": res["packets"],
+            "completion_ns": res["completion_ns"],
+            "critical_path_ideal_ns": res["critical_path_ideal_ns"],
+            "contention_stretch": res["contention_stretch"],
+            "link_load_skew": res["link_load_skew"],
+            "effective_throughput": res["effective_throughput"],
+            # Driver overhead: how much host time / how many events the
+            # closed-loop machinery spends moving one packet.
+            "driver_wall_s": wall_s,
+            "events": res["events"],
+            "events_per_packet": res["events"] / res["packets"],
+            "wall_us_per_packet": 1e6 * wall_s / res["packets"],
+            "sim_events_per_second": res["events"] / wall_s if wall_s > 0 else None,
+        }
+
+    summary = {
+        "scale": scale,
+        "topology": topo.name,
+        "num_nodes": topo.num_nodes,
+        "schedules": per_schedule,
+    }
+    out = report_dir / "workload_summary.json"
+    out.write_text(json.dumps(summary, indent=2, sort_keys=True) + "\n")
+
+    # Sanity of the recorded overhead numbers themselves.
+    for name, row in per_schedule.items():
+        assert row["packets"] > 0, name
+        assert row["events_per_packet"] > 1.0, name

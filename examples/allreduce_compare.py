@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""All-reduce completion time on the three topologies (closed-loop).
+
+Drives the two standard all-reduce schedules -- the bandwidth-optimal
+ring (reduce-scatter + all-gather) and the latency-optimal recursive
+doubling -- as dependency DAGs through the flit-level simulator on
+Slim Fly, MLFM and OFT, under minimal and adaptive routing.  Unlike
+the open-loop synthetic sweeps, injection here is gated by delivery:
+a rank sends only once the chunks it depends on have arrived, so the
+reported number is *schedule completion time*, the quantity that
+actually separates topologies on real applications.
+
+Run:  python examples/allreduce_compare.py
+"""
+
+from repro.experiments.report import ascii_table
+from repro.routing import MinimalRouting, UGALRouting
+from repro.sim import Network
+from repro.topology import MLFM, OFT, SlimFly
+from repro.workload import recursive_doubling_allreduce, ring_allreduce
+
+RANKS = 32  # power of two so both schedules apply unchanged
+MESSAGE_BYTES = 64 * 1024  # the full vector being reduced
+
+
+def adaptive_for(topo):
+    if isinstance(topo, SlimFly):
+        return UGALRouting(topo, cost_mode="sf", c_sf=1.0, num_indirect=4, seed=1)
+    if isinstance(topo, MLFM):
+        return UGALRouting(topo, c=4.0, num_indirect=5, seed=1)
+    return UGALRouting(topo, c=2.0, num_indirect=1, seed=1)
+
+
+def main() -> None:
+    schedules = (
+        ("ring", ring_allreduce(RANKS, MESSAGE_BYTES)),
+        ("recursive-doubling", recursive_doubling_allreduce(RANKS, MESSAGE_BYTES)),
+    )
+    rows = []
+    for topo in (SlimFly(5), MLFM(5), OFT(4)):
+        for rname, make_routing in (
+            ("MIN", lambda t: MinimalRouting(t, seed=1)),
+            ("ADAPTIVE", adaptive_for),
+        ):
+            for sname, workload in schedules:
+                net = Network(topo, make_routing(topo))
+                res = net.run_workload(workload)
+                rows.append(
+                    [topo.name, rname, sname,
+                     f"{res['completion_ns'] / 1000:.1f} us",
+                     f"{res['critical_path_ideal_ns'] / 1000:.1f} us",
+                     f"{res['contention_stretch']:.2f}",
+                     f"{res['link_load_skew']:.2f}"]
+                )
+        print(f"finished {topo.name}")
+    print()
+    print(ascii_table(
+        ["topology", "routing", "schedule", "completion",
+         "ideal (no contention)", "stretch", "link skew"], rows,
+        title=(
+            f"All-reduce of {MESSAGE_BYTES // 1024} KiB across {RANKS} ranks "
+            f"(closed-loop schedule completion)"
+        ),
+    ))
+    print(
+        "\nReading the table: 'stretch' is completion time over the DAG\n"
+        "critical path's zero-contention bound -- pure queueing/contention\n"
+        "overhead.  At this vector size the bandwidth-optimal ring wins:\n"
+        "it moves 1/R of the vector per step, while recursive doubling's\n"
+        "log2(R) rounds each exchange the full vector and contend for the\n"
+        "same links (watch its stretch under MIN routing).  Shrink\n"
+        "MESSAGE_BYTES to ~1 KiB and the ranking flips -- the ring's\n"
+        "2(R-1)-deep dependency chain becomes pure latency."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -12,9 +12,11 @@ from repro.analysis.faults import DegradedTopology, FaultTrial, degrade, fault_r
 from repro.analysis.linkload import (
     channel_loads_indirect,
     channel_loads_minimal,
+    load_skew,
     permutation_flows,
     saturation_throughput,
     uniform_flows,
+    workload_flows,
 )
 from repro.analysis.partition import BisectionResult, Graph, bisect, cut_weight
 from repro.analysis.queueing import md1_wait_ns, mean_minimal_hops, uniform_latency_model
@@ -42,6 +44,8 @@ __all__ = [
     "channel_loads_indirect",
     "uniform_flows",
     "permutation_flows",
+    "workload_flows",
+    "load_skew",
     "saturation_throughput",
     "Graph",
     "bisect",

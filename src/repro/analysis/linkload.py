@@ -27,6 +27,8 @@ __all__ = [
     "saturation_throughput",
     "uniform_flows",
     "permutation_flows",
+    "workload_flows",
+    "load_skew",
 ]
 
 Channel = Tuple[int, int]
@@ -51,6 +53,45 @@ def permutation_flows(destinations: Sequence[int]) -> Iterable[Tuple[int, int, f
     for s, d in enumerate(destinations):
         if d >= 0:
             yield (s, int(d), 1.0)
+
+
+def workload_flows(
+    workload, phase: Optional[str] = None
+) -> Iterable[Tuple[int, int, float]]:
+    """Node-flow triples for a :class:`repro.workload.Workload` DAG.
+
+    Each (src, dst) pair is weighted by its share of the workload's
+    total bytes (restricted to *phase* when given), so the resulting
+    channel loads predict *where* a collective schedule concentrates
+    traffic -- the static counterpart of the driver's measured
+    link-load skew.  Control-only messages carry no bytes and are
+    skipped.
+    """
+    volume: Dict[Tuple[int, int], int] = {}
+    total = 0
+    for m in workload:
+        if m.is_local or (phase is not None and m.phase != phase):
+            continue
+        volume[(m.src, m.dst)] = volume.get((m.src, m.dst), 0) + m.size
+        total += m.size
+    if total == 0:
+        raise ValueError(
+            f"workload {workload.name!r} moves no bytes"
+            + (f" in phase {phase!r}" if phase is not None else "")
+        )
+    for (s, d), b in volume.items():
+        yield (s, d, b / total)
+
+
+def load_skew(loads: Dict[Channel, float]) -> float:
+    """Max/mean ratio of channel loads (1.0 = perfectly balanced)."""
+    if not loads:
+        raise ValueError("no channel loads")
+    values = list(loads.values())
+    mean = sum(values) / len(values)
+    if mean <= 0:
+        raise ValueError("degenerate channel loads (mean <= 0)")
+    return max(values) / mean
 
 
 def _add_path(loads: Dict[Channel, float], path: Tuple[int, ...], weight: float) -> None:

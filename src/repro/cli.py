@@ -9,6 +9,8 @@ Gives shell access to the library's main entry points::
     python -m repro campaign --topologies "sf:q=5;oft:k=4" --routings min,ugal \
         --patterns uniform,worstcase --jobs 4 --resume
     python -m repro exchange sf:q=5 --pattern a2a --routing min
+    python -m repro workload sf:q=5 --collective ring-allreduce --sizes 4096,65536
+    python -m repro workload oft:k=4 --collective halo3d --iterations 4 --jobs 4
     python -m repro figure fig6 --scale tiny
     python -m repro scalability --max-radix 64
     python -m repro bisection oft:k=6
@@ -180,6 +182,7 @@ def _cmd_simulate(args) -> int:
 
     topo = parse_topology(args.topology)
     net = Network(topo, _make_routing(topo, args.routing, args.seed))
+    tracer = net.enable_trace(capacity=args.trace) if args.trace else None
     stats = net.run_synthetic(
         _make_pattern(topo, args.pattern, args.seed),
         load=args.load,
@@ -192,6 +195,16 @@ def _cmd_simulate(args) -> int:
         f"throughput={stats.throughput:.3f} mean_latency={stats.mean_latency_ns:.1f}ns "
         f"p99={stats.p99_latency_ns:.1f}ns packets={stats.ejected_packets}"
     )
+    if tracer is not None:
+        kinds = ", ".join(f"{k}={v}" for k, v in sorted(tracer.by_kind().items()))
+        print(f"trace: {len(tracer.records)} packets recorded ({kinds})")
+        if tracer.dropped:
+            print(
+                f"warning: trace capacity {tracer.capacity} exhausted; "
+                f"{tracer.dropped} delivered packets were not recorded, so the "
+                f"traced latency distribution is truncated (raise --trace)",
+                file=sys.stderr,
+            )
     return 0
 
 
@@ -337,6 +350,89 @@ def _cmd_exchange(args) -> int:
         f"completion={res['completion_ns'] / 1000:.2f}us "
         f"packets={int(res['packets'])}"
     )
+    return 0
+
+
+def _cmd_workload(args) -> int:
+    """Closed-loop collective workloads (repro.workload)."""
+    from repro.experiments.report import ascii_table
+
+    topo = parse_topology(args.topology)
+    sizes = [int(x) for x in args.sizes.split(",")]
+    wkwargs: Dict[str, object] = {}
+    if args.ranks is not None:
+        wkwargs["ranks"] = args.ranks
+    if args.iterations != 1:
+        wkwargs["iterations"] = args.iterations
+    if args.barrier:
+        wkwargs["barrier"] = True
+
+    def indirect_fraction(res: Dict) -> float:
+        kinds: Dict[str, int] = {}
+        for phase in res["phases"].values():
+            for kind, count in phase["kind_counts"].items():
+                kinds[kind] = kinds.get(kind, 0) + count
+        total = sum(kinds.values()) or 1
+        return kinds.get("indirect", 0) / total
+
+    orch = None
+    if _orchestration_requested(args):
+        from repro.orchestrate import cli_routing_spec, workload_size_jobs
+
+        orch = _make_orchestrator(args)
+        jobs = workload_size_jobs(
+            args.topology,
+            cli_routing_spec(topo, args.routing),
+            args.collective,
+            sizes,
+            workload_kwargs=wkwargs,
+            seed=args.seed,
+        )
+        result = orch.run(jobs)
+        try:
+            result.raise_on_failure()
+        except RuntimeError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            _print_campaign_stats(orch.last_stats)
+            return 1
+        outcomes = [result.outcomes[job_id].result.payload for job_id in result.order]
+    else:
+        from repro.experiments.runner import run_workload
+        from repro.workload import build_workload
+
+        outcomes = []
+        for size in sizes:
+            workload = build_workload(
+                args.collective, topo.num_nodes, size, **wkwargs
+            )
+            outcomes.append(
+                run_workload(
+                    topo,
+                    lambda t, s: _make_routing(t, args.routing, s),
+                    workload,
+                    seed=args.seed,
+                )
+            )
+    rows = [
+        [
+            size,
+            res["messages"],
+            res["completion_ns"],
+            res["critical_path_ideal_ns"],
+            res["contention_stretch"],
+            res["link_load_skew"],
+            indirect_fraction(res),
+        ]
+        for size, res in zip(sizes, outcomes)
+    ]
+    print(ascii_table(
+        ["msg bytes", "messages", "completion ns", "critical path ns",
+         "stretch", "link skew", "indirect frac"],
+        rows,
+        title=f"{topo.name} {args.collective} routing={args.routing} (closed loop)",
+    ))
+    if orch is not None:
+        _print_campaign_stats(orch.last_stats)
     return 0
 
 
@@ -489,6 +585,9 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("simulate", help="one synthetic-traffic simulation")
     add_sim_args(p)
     p.add_argument("--load", type=float, default=0.5)
+    p.add_argument("--trace", type=int, default=0, metavar="N",
+                   help="record up to N delivered packets (route kind, latency); "
+                        "warns if the capacity truncates the distribution")
     p.set_defaults(func=_cmd_simulate)
 
     p = sub.add_parser("sweep", help="offered-load sweep")
@@ -515,6 +614,28 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write the campaign summary (wall-clock, cache hits, ev/s) as JSON")
     add_orchestration_args(p)
     p.set_defaults(func=_cmd_campaign)
+
+    p = sub.add_parser(
+        "workload",
+        help="closed-loop collective workload (dependency-DAG schedule)",
+    )
+    p.add_argument("topology")
+    p.add_argument("--collective", default="ring-allreduce",
+                   choices=["ring-allreduce", "rd-allreduce", "allgather",
+                            "halo3d", "phased-a2a"])
+    p.add_argument("--routing", default="min")
+    p.add_argument("--sizes", default="4096", metavar="B1,B2,...",
+                   help="comma-separated message sizes in bytes (one run each)")
+    p.add_argument("--ranks", type=int, default=None,
+                   help="participating ranks (default: every node; rd-allreduce "
+                        "trims to the largest power of two)")
+    p.add_argument("--iterations", type=int, default=1,
+                   help="stencil sweeps for halo3d (default: %(default)s)")
+    p.add_argument("--barrier", action="store_true",
+                   help="phased-a2a: global barrier between phases")
+    p.add_argument("--seed", type=int, default=0)
+    add_orchestration_args(p)
+    p.set_defaults(func=_cmd_workload)
 
     p = sub.add_parser("exchange", help="finite exchange (a2a | nn)")
     p.add_argument("topology")

@@ -55,6 +55,7 @@ __all__ = [
     "fig14_data",
     "diversity_data",
     "tail_effects_data",
+    "collectives_data",
 ]
 
 UNI_LOADS = (0.2, 0.5, 0.8, 0.95)
@@ -620,5 +621,113 @@ def diversity_data(scale: str = "tiny") -> Dict:
             ["topology", "pairs", "mean", "max", "mean d2", "max d2"],
             rows,
             title="Sec. 2.3.3: minimal-path diversity between endpoint routers",
+        ),
+    }
+
+
+# --------------------------------------------------------------------------
+# Collective workloads (repro.workload): closed-loop completion times.
+# --------------------------------------------------------------------------
+
+
+def _run_workload_tasks(
+    tasks: Sequence[Tuple[str, ExperimentConfig, Callable, Tuple[str, Dict[str, object]],
+                          Tuple[str, Dict[str, object]]]],
+    orchestrator: Optional["Orchestrator"],
+    seed: int,
+) -> Dict[str, Dict[str, object]]:
+    """Workload-figure engine: run named collectives, parallel if possible.
+
+    Each task is ``(key, config, routing_factory, routing_spec,
+    workload_spec)``; returns the driver result dict per key.  Mirrors
+    :func:`_run_exchange_tasks`: workloads are rebuilt per run from
+    their declarative spec in both paths, so serial and orchestrated
+    results match bit-for-bit.
+    """
+    use_orchestrator = orchestrator is not None and all(t[1].spec for t in tasks)
+    out: Dict[str, Dict[str, object]] = {}
+    if not use_orchestrator:
+        from repro.experiments.runner import run_workload
+        from repro.orchestrate.job import _build_workload  # shared builder
+
+        topo_cache: Dict[str, object] = {}
+        for key, config, rfactory, _rspec, (wname, wkwargs) in tasks:
+            topo = topo_cache.setdefault(config.key, config.topology())
+            workload = _build_workload(wname, dict(wkwargs), topo)
+            out[key] = run_workload(topo, rfactory, workload, seed=seed)
+        return out
+
+    from repro.orchestrate import workload_job
+
+    jobs = [
+        workload_job(config.spec, rspec, wspec, seed=seed, tag=key)
+        for key, config, _rfactory, rspec, wspec in tasks
+    ]
+    result = orchestrator.run(jobs)
+    for (key, *_), job_id in zip(tasks, result.order):
+        outcome = result.outcomes[job_id]
+        if not outcome.ok or outcome.result is None:
+            raise RuntimeError(f"workload job {job_id} ({key}) failed: {outcome.error}")
+        out[key] = outcome.result.payload
+    return out
+
+
+def collectives_data(scale: str = "tiny", seed: int = 0,
+                     collective: str = "ring-allreduce",
+                     sizes: Optional[Sequence[int]] = None,
+                     routings: Sequence[str] = ("MIN", "ADAPT"),
+                     configs: Optional[Sequence[ExperimentConfig]] = None,
+                     orchestrator: Optional["Orchestrator"] = None) -> Dict:
+    """Collective completion time vs message size, per topology x routing.
+
+    The closed-loop counterpart of Figs. 13/14: instead of a one-shot
+    exchange's effective throughput, this measures how long a
+    dependency-DAG collective (default: ring all-reduce over all nodes)
+    takes to *complete* as the vector size grows -- the metric that
+    separates low-diameter topologies on real workloads.  Also reports
+    the DAG critical-path bound, the contention stretch (measured /
+    bound) and the observed link-load skew.
+    """
+    configs = list(configs) if configs is not None else configs_for_scale(scale)
+    if sizes is None:
+        # Span latency-bound through bandwidth-bound regimes.  Ring
+        # chunks are size/R bytes, so sizes must straddle multiples of
+        # R * packet_bytes or adjacent points collapse onto the same
+        # per-step packet count (and hence identical completion times).
+        n = max(c.build().num_nodes for c in configs)
+        step = n * 256  # one extra packet per ring step
+        sizes = (step // 2, 2 * step, 8 * step)
+    tasks = []
+    for config in configs:
+        for rname in routings:
+            rspec = config.routing_spec(rname)
+            rfactory = {"MIN": config.minimal, "INR": config.indirect,
+                        "ADAPT": config.adaptive}[rname]
+            for size in sizes:
+                wspec = (collective, {"message_bytes": int(size)})
+                tasks.append((f"{config.key}/{rname}/B{size}", config,
+                              rfactory, rspec, wspec))
+    by_key = _run_workload_tasks(tasks, orchestrator, seed)
+    rows: List[List[object]] = []
+    results: Dict[str, Dict[str, object]] = {}
+    for key, config, *_ in tasks:
+        res = by_key[key]
+        results[key] = res
+        _, rname, blabel = key.split("/")
+        rows.append([
+            config.key, rname, int(blabel[1:]), res["completion_ns"],
+            res["critical_path_ideal_ns"], res["contention_stretch"],
+            res["link_load_skew"],
+        ])
+    return {
+        "collective": collective,
+        "sizes": list(int(s) for s in sizes),
+        "results": results,
+        "rows": rows,
+        "report": ascii_table(
+            ["config", "routing", "msg bytes", "completion ns",
+             "critical path ns", "stretch", "link skew"],
+            rows,
+            title=f"Collective completion time: {collective} (closed loop)",
         ),
     }

@@ -22,6 +22,7 @@ __all__ = [
     "load_sweep_replicated",
     "saturation_point",
     "run_exchange",
+    "run_workload",
 ]
 
 
@@ -214,3 +215,22 @@ def run_exchange(
     """Simulate one finite exchange to completion."""
     net = Network(topology, routing_factory(topology, seed), config)
     return net.run_exchange(exchange)
+
+
+def run_workload(
+    topology: Topology,
+    routing_factory: Callable[[Topology, int], RoutingAlgorithm],
+    workload,
+    seed: int = 0,
+    config: SimConfig = PAPER_CONFIG,
+    max_events: Optional[int] = None,
+) -> Dict[str, object]:
+    """Drive one dependency-DAG workload to completion (closed loop).
+
+    *workload* is a :class:`repro.workload.Workload`; like
+    :func:`run_exchange` this is the single-run primitive shared by the
+    serial path and the :mod:`repro.orchestrate` worker, keeping the
+    two bit-identical for fixed seeds.
+    """
+    net = Network(topology, routing_factory(topology, seed), config)
+    return net.run_workload(workload, max_events=max_events)

@@ -34,6 +34,8 @@ from repro.orchestrate.sweeps import (
     orchestrated_load_sweep,
     points_from_outcomes,
     sweep_jobs,
+    workload_job,
+    workload_size_jobs,
 )
 from repro.orchestrate.telemetry import Telemetry
 
@@ -54,6 +56,8 @@ __all__ = [
     "run_campaign",
     "sweep_jobs",
     "exchange_job",
+    "workload_job",
+    "workload_size_jobs",
     "points_from_outcomes",
     "orchestrated_load_sweep",
     "cli_routing_spec",

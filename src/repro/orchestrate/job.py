@@ -10,10 +10,12 @@ through the same primitives as the serial path
 :func:`repro.experiments.runner.run_exchange`), which is what makes the
 parallel and serial paths bit-identical for fixed seeds.
 
-Three job kinds exist:
+Four job kinds exist:
 
 - ``"sweep"``: one offered-load point (the unit of Figs. 6–12),
 - ``"exchange"``: one finite exchange to completion (Figs. 13/14),
+- ``"workload"``: one collective-communication DAG driven closed-loop
+  to completion (:mod:`repro.workload`),
 - ``"probe"``: a scheduler self-test job (sleep / raise / hard-exit),
   used by the fault-tolerance tests and CI smoke runs.
 """
@@ -28,7 +30,12 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
-from repro.experiments.runner import SweepPoint, run_exchange, run_sweep_point
+from repro.experiments.runner import (
+    SweepPoint,
+    run_exchange,
+    run_sweep_point,
+    run_workload,
+)
 from repro.sim.config import SimConfig
 from repro.topology.base import Topology
 
@@ -53,7 +60,7 @@ class Job:
     the same computation still hit the cache.
     """
 
-    kind: str = "sweep"  # "sweep" | "exchange" | "probe"
+    kind: str = "sweep"  # "sweep" | "exchange" | "workload" | "probe"
     topology: str = ""  # CLI spec string, e.g. "sf:q=5,p=floor"
     routing: str = "min"
     routing_kwargs: Dict[str, Any] = field(default_factory=dict)
@@ -196,6 +203,19 @@ def _build_exchange(name: str, kwargs: Dict[str, Any], topology: Topology):
     raise ValueError(f"unknown exchange {name!r} (a2a | nn)")
 
 
+def _build_workload(name: str, kwargs: Dict[str, Any], topology: Topology):
+    from repro.workload import build_workload
+
+    kw = dict(kwargs)
+    message_bytes = int(kw.pop("message_bytes", 4096))
+    ranks = kw.pop("ranks", None)
+    if "dims" in kw and kw["dims"] is not None:  # JSON round-trips as list
+        kw["dims"] = tuple(int(d) for d in kw["dims"])
+    return build_workload(
+        name, topology.num_nodes, message_bytes, ranks=ranks, **kw
+    )
+
+
 # --------------------------------------------------------------------------
 # Execution.
 # --------------------------------------------------------------------------
@@ -260,6 +280,19 @@ def run_job(job: Job) -> JobResult:
                 config=job.sim_config(),
             )
         )
+    elif job.kind == "workload":
+        topo = _build_topology(job.topology)
+        workload = _build_workload(job.pattern, job.pattern_kwargs, topo)
+        payload = dict(
+            run_workload(
+                topo,
+                lambda t, s: _build_routing(job.routing, job.routing_kwargs, t, s),
+                workload,
+                seed=job.seed,
+                config=job.sim_config(),
+            )
+        )
+        stats_out["events_executed"] = payload.get("events", 0)
     else:
         raise ValueError(f"unknown job kind {job.kind!r}")
 

@@ -20,6 +20,8 @@ from repro.topology.base import Topology
 __all__ = [
     "sweep_jobs",
     "exchange_job",
+    "workload_job",
+    "workload_size_jobs",
     "points_from_outcomes",
     "orchestrated_load_sweep",
     "cli_routing_spec",
@@ -88,6 +90,67 @@ def exchange_job(
         config=sim_config_dict(config),
         tag=tag or f"{topology_spec}/{routing_name}/{exchange_name}",
     )
+
+
+def workload_job(
+    topology_spec: str,
+    routing: Spec,
+    workload: Spec,
+    seed: int = 0,
+    config: SimConfig = PAPER_CONFIG,
+    tag: str = "",
+) -> Job:
+    """One collective-workload job.
+
+    ``workload`` is ``(name, kwargs)`` with a name registered in
+    :data:`repro.workload.WORKLOAD_GENERATORS` and kwargs understood by
+    :func:`repro.workload.build_workload` (``message_bytes``, ``ranks``,
+    plus generator extras like ``iterations`` or ``barrier``).
+    """
+    routing_name, routing_kwargs = routing
+    workload_name, workload_kwargs = workload
+    return Job(
+        kind="workload",
+        topology=topology_spec,
+        routing=routing_name,
+        routing_kwargs=dict(routing_kwargs),
+        pattern=workload_name,
+        pattern_kwargs=dict(workload_kwargs),
+        load=0.0,
+        seed=seed,
+        config=sim_config_dict(config),
+        tag=tag or f"{topology_spec}/{routing_name}/{workload_name}",
+    )
+
+
+def workload_size_jobs(
+    topology_spec: str,
+    routing: Spec,
+    workload_name: str,
+    message_sizes: Sequence[int],
+    workload_kwargs: Optional[Dict[str, Any]] = None,
+    seed: int = 0,
+    config: SimConfig = PAPER_CONFIG,
+    tag: str = "",
+) -> List[Job]:
+    """One workload job per message size (completion-vs-size curves)."""
+    base = dict(workload_kwargs or {})
+    jobs = []
+    for size in message_sizes:
+        kwargs = dict(base)
+        kwargs["message_bytes"] = int(size)
+        jobs.append(
+            workload_job(
+                topology_spec,
+                routing,
+                (workload_name, kwargs),
+                seed=seed,
+                config=config,
+                tag=(tag or f"{topology_spec}/{routing[0]}/{workload_name}")
+                + f"/B{size}",
+            )
+        )
+    return jobs
 
 
 def points_from_outcomes(result: CampaignResult, job_ids: Sequence[str]) -> List[SweepPoint]:

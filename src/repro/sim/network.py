@@ -48,6 +48,7 @@ class Network:
         self.tracer = None  # optional PacketTracer (see enable_trace)
         self._utilization_window: Optional[float] = None
         self._msg_track: Optional[Dict] = None  # per-message tracking (exchanges)
+        self._delivery_listeners: list = []  # see add_delivery_listener
         self._experiment_ran = False  # one experiment per Network instance
 
         vc_capacity = config.buffer_packets_per_vc(self.num_vcs)
@@ -197,12 +198,28 @@ class Network:
         self.tracer = PacketTracer(capacity=capacity, start_ns=start_ns)
         return self.tracer
 
+    def add_delivery_listener(self, fn) -> None:
+        """Register ``fn(pkt)`` to run on every packet delivery.
+
+        This is the closed-loop hook: a listener observes each ejection
+        (with its ``msg_id``) and may submit new traffic in response --
+        :class:`repro.workload.driver.WorkloadDriver` uses it to release
+        DAG successors the moment their dependencies complete.
+        Listeners run after statistics/trace recording, in registration
+        order, and must not raise.
+        """
+        if not callable(fn):
+            raise TypeError(f"delivery listener {fn!r} is not callable")
+        self._delivery_listeners.append(fn)
+
     def deliver(self, pkt: Packet) -> None:
         """Final hop: the packet reaches its destination node."""
         pkt.eject_time = self.engine.now
         self.stats.record_eject(pkt)
         if self.tracer is not None:
             self.tracer.record(pkt)
+        for listener in self._delivery_listeners:
+            listener(pkt)
         if self._msg_track is not None and pkt.msg_id is not None:
             key = (pkt.src_node, pkt.msg_id)
             entry = self._msg_track.get(key)
@@ -281,6 +298,21 @@ class Network:
             self.nics[node].submit(dst, self.config.packet_bytes)
         delay = rng.expovariate(1.0 / mean_ia) if arrival == "poisson" else mean_ia
         self.engine.schedule(delay, self._generate, node, pattern, mean_ia, until, rng, arrival)
+
+    # -- closed-loop workloads -------------------------------------------------
+
+    def run_workload(self, workload, max_events: Optional[int] = None) -> Dict:
+        """Drive a dependency-DAG workload to completion (closed loop).
+
+        *workload* is a :class:`repro.workload.Workload`; messages are
+        released into the NICs as their dependencies' deliveries are
+        observed.  Returns the driver's result dict (completion time,
+        critical path, per-phase route kinds, link-load skew); see
+        :mod:`repro.workload.driver`.
+        """
+        from repro.workload.driver import WorkloadDriver  # lazy: avoids cycle
+
+        return WorkloadDriver(self, workload).run(max_events=max_events)
 
     # -- finite exchanges ----------------------------------------------------------
 
@@ -377,7 +409,11 @@ def _packetize_interleaved(
     messages: Iterable[Tuple[int, int]], packet_bytes: int
 ) -> Iterator[Tuple[int, int, Optional[int]]]:
     """Round-robin packets across concurrent messages (non-blocking sends)."""
-    remaining = [(msg_id, dst, size) for msg_id, (dst, size) in enumerate(messages)]
+    remaining = [
+        (msg_id, dst, size)
+        for msg_id, (dst, size) in enumerate(messages)
+        if size > 0  # zero-byte messages emit no packets (matches _packetize)
+    ]
     while remaining:
         nxt = []
         for msg_id, dst, size in remaining:

@@ -120,3 +120,72 @@ class TestResumeSemantics:
         result = run_campaign(self.jobs())
         assert result.stats["executed"] == len(LOADS)
         assert not result.failed
+
+
+class TestWorkloadDeterminism:
+    """Closed-loop collective runs obey the same bit-identity contract."""
+
+    WORKLOADS = [
+        ("ring-allreduce", {"message_bytes": 2048, "ranks": 12}),
+        ("rd-allreduce", {"message_bytes": 1024, "ranks": 16}),
+        ("phased-a2a", {"message_bytes": 512, "ranks": 10}),
+    ]
+
+    @staticmethod
+    def _strip(payload):
+        """Drop wall-clock telemetry; everything else must match exactly."""
+        out = dict(payload)
+        out.pop("driver_wall_s", None)
+        return out
+
+    def serial_payloads(self, seed):
+        from repro.experiments import run_workload
+        from repro.workload import build_workload
+
+        payloads = []
+        for name, kwargs in self.WORKLOADS:
+            topo = parse_topology(TOPOLOGY)
+            w = build_workload(
+                name, topo.num_nodes, kwargs["message_bytes"], ranks=kwargs["ranks"]
+            )
+            payloads.append(
+                run_workload(
+                    topo, lambda t, s: MinimalRouting(t, seed=s), w, seed=seed
+                )
+            )
+        return payloads
+
+    def orchestrated_payloads(self, seed, orchestrator):
+        from repro.orchestrate import workload_job
+
+        jobs = [
+            workload_job(TOPOLOGY, ("min", {}), (name, dict(kwargs)), seed=seed)
+            for name, kwargs in self.WORKLOADS
+        ]
+        result = orchestrator.run(jobs).raise_on_failure()
+        return [result.outcomes[j].result.payload for j in result.order]
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_pool_matches_serial_bit_identically(self, jobs):
+        serial = self.serial_payloads(seed=7)
+        orch = self.orchestrated_payloads(seed=7, orchestrator=Orchestrator(jobs=jobs))
+        assert len(serial) == len(orch)
+        for a, b in zip(serial, orch):
+            assert self._strip(a) == self._strip(b)
+
+    def test_repeat_seeds_fuzz(self):
+        # Same seed twice -> identical; the runs really are seed-driven.
+        for seed in (0, 3, 11):
+            a = self.serial_payloads(seed=seed)
+            b = self.serial_payloads(seed=seed)
+            assert [self._strip(x) for x in a] == [self._strip(y) for y in b]
+
+    def test_workload_results_cache_cleanly(self, tmp_path):
+        serial = self.serial_payloads(seed=9)
+        for run in range(2):
+            orch = Orchestrator(jobs=2, cache_dir=tmp_path, resume=True)
+            payloads = self.orchestrated_payloads(seed=9, orchestrator=orch)
+            for a, b in zip(serial, payloads):
+                assert self._strip(a) == self._strip(b)
+        assert orch.last_stats["executed"] == 0
+        assert orch.last_stats["cache_hits"] == len(self.WORKLOADS)

@@ -224,3 +224,66 @@ class TestSingleUse:
                           warmup_ns=200, measure_ns=600, seed=3)
         with pytest.raises(RuntimeError):
             net.run_exchange(AllToAll(sf4.num_nodes, message_bytes=256))
+
+
+class TestPacketize:
+    """Unit tests for the exchange packetisation helpers."""
+
+    @staticmethod
+    def _run(fn, messages, pkt):
+        from repro.sim.network import _packetize, _packetize_interleaved
+
+        impl = _packetize if fn == "ordered" else _packetize_interleaved
+        return list(impl(messages, pkt))
+
+    @pytest.mark.parametrize("fn", ["ordered", "interleaved"])
+    def test_chunks_reassemble_to_message_sizes(self, fn):
+        messages = [(3, 1000), (7, 256), (9, 257)]
+        pkts = self._run(fn, messages, 256)
+        totals = {}
+        for dst, chunk, msg_id in pkts:
+            assert 0 < chunk <= 256
+            assert dst == messages[msg_id][0]
+            totals[msg_id] = totals.get(msg_id, 0) + chunk
+        assert totals == {0: 1000, 1: 256, 2: 257}
+
+    @pytest.mark.parametrize("fn", ["ordered", "interleaved"])
+    def test_remainder_is_final_chunk(self, fn):
+        # 1000 = 3*256 + 232: exactly one short tail packet.
+        pkts = [c for _, c, m in self._run(fn, [(0, 1000)], 256)]
+        assert sorted(pkts, reverse=True) == [256, 256, 256, 232]
+        assert pkts[-1] == 232
+
+    @pytest.mark.parametrize("fn", ["ordered", "interleaved"])
+    def test_exact_multiple_has_no_tail(self, fn):
+        pkts = self._run(fn, [(1, 512)], 256)
+        assert [c for _, c, _ in pkts] == [256, 256]
+
+    @pytest.mark.parametrize("fn", ["ordered", "interleaved"])
+    def test_zero_size_message_emits_nothing_but_keeps_ids_stable(self, fn):
+        # msg 1 has zero bytes; ids of later messages must not shift.
+        pkts = self._run(fn, [(4, 256), (5, 0), (6, 256)], 256)
+        assert [(d, m) for d, _, m in pkts] == [(4, 0), (6, 2)]
+
+    @pytest.mark.parametrize("fn", ["ordered", "interleaved"])
+    def test_empty_message_list(self, fn):
+        assert self._run(fn, [], 256) == []
+
+    def test_ordered_is_strictly_sequential(self):
+        pkts = self._run("ordered", [(0, 600), (1, 600)], 256)
+        assert [m for _, _, m in pkts] == [0, 0, 0, 1, 1, 1]
+
+    def test_interleaved_round_robins_across_messages(self):
+        pkts = self._run("interleaved", [(0, 600), (1, 300)], 256)
+        # Rounds: (m0, m1), (m0, m1-tail), (m0-tail).
+        assert [m for _, _, m in pkts] == [0, 1, 0, 1, 0]
+        assert [c for _, c, _ in pkts] == [256, 256, 256, 44, 88]
+
+    def test_interleaved_drops_finished_messages_from_rotation(self):
+        pkts = self._run("interleaved", [(0, 256), (1, 1024)], 256)
+        assert [m for _, _, m in pkts] == [1 if i else 0 for i in range(5)]
+
+    @pytest.mark.parametrize("fn", ["ordered", "interleaved"])
+    def test_single_byte_messages(self, fn):
+        pkts = self._run(fn, [(2, 1), (3, 1)], 256)
+        assert [(d, c) for d, c, _ in pkts] == [(2, 1), (3, 1)]

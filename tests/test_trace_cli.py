@@ -190,3 +190,68 @@ class TestReproduceCommand:
         assert rc == 0
         assert out_md.exists() and out_json.exists()
         assert "table2" in out_md.read_text()
+
+
+class TestSimulateTraceOutput:
+    ARGS = [
+        "simulate", "sf:q=4", "--routing", "min", "--pattern", "uniform",
+        "--load", "0.3", "--warmup", "200", "--measure", "800",
+    ]
+
+    def test_trace_summary_printed(self, capsys):
+        rc = main(self.ARGS + ["--trace", "100000"])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "packets recorded" in captured.out
+        # Roomy capacity: nothing dropped, so no truncation warning.
+        assert "warning: trace capacity" not in captured.err
+
+    def test_truncation_warned_not_silent(self, capsys):
+        """A too-small --trace must say how many packets it lost."""
+        rc = main(self.ARGS + ["--trace", "5"])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "trace: 5 packets recorded" in captured.out
+        assert "warning: trace capacity 5 exhausted" in captured.err
+        assert "raise --trace" in captured.err
+
+    def test_no_trace_no_summary(self, capsys):
+        rc = main(self.ARGS)
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "packets recorded" not in captured.out
+
+
+class TestWorkloadCommand:
+    def test_ring_allreduce_serial(self, capsys):
+        rc = main([
+            "workload", "sf:q=4", "--collective", "ring-allreduce",
+            "--routing", "min", "--sizes", "1024,4096", "--ranks", "8",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "ring-allreduce" in out
+        assert "completion ns" in out
+        assert out.count("\n") >= 4  # header + two size rows
+
+    def test_unknown_collective_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main([
+                "workload", "sf:q=4", "--collective", "bogus",
+            ])
+
+    def test_orchestrated_matches_serial(self, capsys, tmp_path):
+        common = [
+            "workload", "sf:q=4", "--collective", "allgather",
+            "--routing", "min", "--sizes", "512", "--ranks", "6",
+        ]
+        assert main(common) == 0
+        serial = capsys.readouterr().out
+        assert main(common + ["--jobs", "2", "--cache-dir", str(tmp_path)]) == 0
+        parallel = capsys.readouterr().out
+
+        def table_rows(text):
+            return [ln for ln in text.splitlines() if ln.lstrip().startswith("512")]
+
+        assert table_rows(serial) == table_rows(parallel)
+        assert table_rows(serial)  # the row exists at all
