@@ -64,28 +64,50 @@ class Engine:
         Stops when the queue is empty, when the next event is later than
         *until*, or after *max_events* events (a runaway guard).
         Returns the number of events executed by this call.
+
+        The three loop variants below keep the per-event overhead
+        minimal: the event budget is an integer countdown (-1 for
+        unlimited) instead of a ``float("inf")`` comparison, and the
+        heap/pop references are hoisted out of the loops.
         """
         heap = self._heap
+        pop = heappop
         executed = 0
-        if until is None and max_events is None:
-            while heap:
-                now, _, fn, args = heappop(heap)
-                self.now = now
-                fn(*args)
-                executed += 1
+        if until is None:
+            if max_events is None:
+                while heap:
+                    now, _, fn, args = pop(heap)
+                    self.now = now
+                    fn(*args)
+                    executed += 1
+            else:
+                remaining = max_events
+                while heap and remaining > 0:
+                    now, _, fn, args = pop(heap)
+                    self.now = now
+                    fn(*args)
+                    executed += 1
+                    remaining -= 1
         else:
-            limit = float("inf") if until is None else until
-            budget = float("inf") if max_events is None else max_events
-            while heap and executed < budget:
-                if heap[0][0] > limit:
-                    break
-                now, _, fn, args = heappop(heap)
-                self.now = now
-                fn(*args)
-                executed += 1
-            if until is not None and (not heap or heap[0][0] > limit):
-                # Advance the clock to the horizon even if the queue ran dry.
-                self.now = max(self.now, limit)
+            if max_events is None:
+                while heap and heap[0][0] <= until:
+                    now, _, fn, args = pop(heap)
+                    self.now = now
+                    fn(*args)
+                    executed += 1
+            else:
+                remaining = max_events
+                while heap and remaining > 0 and heap[0][0] <= until:
+                    now, _, fn, args = pop(heap)
+                    self.now = now
+                    fn(*args)
+                    executed += 1
+                    remaining -= 1
+            if not heap or heap[0][0] > until:
+                # Advance the clock to the horizon even if the queue ran
+                # dry (but not when the event budget cut the run short).
+                if self.now < until:
+                    self.now = until
         self.events_executed += executed
         return executed
 

@@ -149,8 +149,10 @@ class Router:
         upstream = self.in_upstream[in_idx]
         while q:
             pkt = q[0]
-            out = self.out[pkt.ports[pkt.hop]]
-            out_vc = self._out_vc_of(pkt)
+            hop = pkt.hop
+            out = self.out[pkt.ports[hop]]
+            vcs = pkt.vcs
+            out_vc = vcs[hop] if hop < len(vcs) else 0
             if out.oq_occ[out_vc] >= out.oq_cap:
                 out.pending_inputs.append((in_idx, vc))
                 return
@@ -173,13 +175,17 @@ class Router:
             return
         credits = out.credits
         num_vcs = self.num_vcs
-        rr = out.rr_vc
-        for i in range(num_vcs):
-            vc = (rr + i) % num_vcs
-            oq = out.oq[vc]
+        oqs = out.oq
+        vc = out.rr_vc
+        for _ in range(num_vcs):
+            if vc >= num_vcs:
+                vc -= num_vcs
+            oq = oqs[vc]
             if not oq:
+                vc += 1
                 continue
             if credits is not None and credits[vc] <= 0:
+                vc += 1
                 continue
             pkt = oq.popleft()
             out.oq_occ[vc] -= 1
@@ -207,15 +213,27 @@ class Router:
             return
 
     def _admit_pending(self, out: OutputPort, freed_vc: int) -> None:
+        # Single-pass scan: deque *iteration* is O(1) per element, whereas
+        # the previous rotate(-1)-until-match loop paid an O(n) deque[0]
+        # peek plus a rotate per miss.  The end state is bit-identical to
+        # the rotate version: on a match at position i the deque is
+        # rotated by -i and the match popped (so the elements that were
+        # skipped move to the back, exactly as before); with no match the
+        # deque is left untouched (a full rotation cycle is the identity).
         pending = out.pending_inputs
-        for _ in range(len(pending)):
-            in_idx, vc = pending[0]
-            head = self.in_q[in_idx][vc][0]
-            if self._out_vc_of(head) == freed_vc:
+        in_q = self.in_q
+        i = 0
+        for in_idx, vc in pending:
+            pkt = in_q[in_idx][vc][0]
+            hop = pkt.hop
+            vcs = pkt.vcs
+            if (vcs[hop] if hop < len(vcs) else 0) == freed_vc:
+                if i:
+                    pending.rotate(-i)
                 pending.popleft()
                 self._try_transfer(in_idx, vc)
                 return
-            pending.rotate(-1)
+            i += 1
 
     def _link_free(self, out: OutputPort) -> None:
         out.busy = False

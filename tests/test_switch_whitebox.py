@@ -88,6 +88,96 @@ class TestCreditConservation:
                 assert all(not q for q in per_vc)
 
 
+class TestAdmitPending:
+    """Head-of-line admission semantics of Router._admit_pending.
+
+    The scan must admit the first pending input (in deque order) whose
+    head packet targets the freed output VC, move the skipped entries to
+    the back (the historical rotate-until-match behaviour, which seeded
+    simulations depend on for bit-identical replay), and leave the deque
+    untouched when nothing matches.
+    """
+
+    @staticmethod
+    def _net():
+        topo = line3(p=2)
+        return Network(topo, MinimalRouting(topo, seed=1))
+
+    @staticmethod
+    def _pkt(pid, out_vc):
+        from repro.sim.packet import Packet
+
+        # hop = 0, so the packet's next-hop output VC is vcs[0].
+        return Packet(
+            pid=pid, src_node=0, dst_node=4, size=256,
+            routers=(0, 1), ports=(0, 0), vcs=(out_vc,),
+            kind="minimal", gen_time=0.0,
+        )
+
+    def _stage(self, net, router, entries):
+        """Place fake head packets and fill pending_inputs accordingly."""
+        pending = router.out[0].pending_inputs
+        pending.clear()
+        for in_idx, (pid, out_vc) in enumerate(entries):
+            router.in_q[in_idx][0].clear()
+            router.in_q[in_idx][0].append(self._pkt(pid, out_vc))
+            pending.append((in_idx, 0))
+        return pending
+
+    def _capture_transfers(self, monkeypatch):
+        from repro.sim.switch import Router
+
+        calls = []
+        monkeypatch.setattr(
+            Router, "_try_transfer", lambda self, in_idx, vc: calls.append((in_idx, vc))
+        )
+        return calls
+
+    def test_admits_first_match_at_front(self, monkeypatch):
+        net = self._net()
+        router = net.routers[1]
+        pending = self._stage(net, router, [(1, 0), (2, 1)])
+        calls = self._capture_transfers(monkeypatch)
+        router._admit_pending(router.out[0], freed_vc=0)
+        assert calls == [(0, 0)]
+        assert list(pending) == [(1, 0)]
+
+    def test_match_in_middle_rotates_skipped_to_back(self, monkeypatch):
+        net = self._net()
+        router = net.routers[1]
+        # Inputs 0/1/2 head packets target VCs 1, 0, 1; freeing VC 0 must
+        # admit input 1 and leave [input2, input0] (skipped entry at back).
+        pending = self._stage(net, router, [(1, 1), (2, 0), (3, 1)])
+        calls = self._capture_transfers(monkeypatch)
+        router._admit_pending(router.out[0], freed_vc=0)
+        assert calls == [(1, 0)]
+        assert list(pending) == [(2, 0), (0, 0)]
+
+    def test_no_match_leaves_deque_unchanged(self, monkeypatch):
+        net = self._net()
+        router = net.routers[1]
+        pending = self._stage(net, router, [(1, 1), (2, 1)])
+        calls = self._capture_transfers(monkeypatch)
+        router._admit_pending(router.out[0], freed_vc=0)
+        assert calls == []
+        assert list(pending) == [(0, 0), (1, 0)]
+
+    def test_head_of_line_pressure_still_delivers_everything(self):
+        # One-packet output buffers + bidirectional cross traffic keep
+        # pending_inputs populated with mixed target VCs; every packet
+        # must still be admitted and delivered eventually.
+        cfg = SimConfig(buffer_bytes_per_port=256)
+        topo = line3(p=2)
+        net = Network(topo, MinimalRouting(topo, seed=1), cfg)
+        for _ in range(25):
+            net.nics[0].submit(4, 256)
+            net.nics[1].submit(5, 256)
+            net.nics[4].submit(0, 256)
+            net.nics[5].submit(1, 256)
+        drain(net)
+        assert net.stats.ejected_total == 100
+
+
 class TestCapacityEnforcement:
     def test_tiny_output_queue_causes_pending(self):
         # One-packet buffers force the pending-input path to exercise.
