@@ -6,6 +6,8 @@
 - :class:`repro.routing.UGALRouting` -- UGAL-L adaptive, generic and
   threshold variants, constant or length-ratio penalty (Sec. 3.3),
 - :mod:`repro.routing.vc` -- VC assignment schemes (Sec. 3.4),
+- :mod:`repro.routing.cache` -- precompiled per-(src, dst) route
+  candidates shared by all algorithms (hot-path optimisation),
 - :mod:`repro.routing.deadlock` -- channel-dependency-graph construction
   and cycle detection, used to prove deadlock freedom per instance.
 """
@@ -25,6 +27,7 @@ from repro.routing.deadlock import (
     build_cdg_minimal,
     find_cycle,
 )
+from repro.routing.cache import RouteCache
 from repro.routing.minimal import MinimalRouting
 from repro.routing.tables import ForwardingTables
 from repro.routing.paths import MinimalPaths, all_shortest_paths_bfs
@@ -42,6 +45,7 @@ __all__ = [
     "ROUTE_INDIRECT",
     "MinimalPaths",
     "all_shortest_paths_bfs",
+    "RouteCache",
     "MinimalRouting",
     "ForwardingTables",
     "IndirectRandomRouting",

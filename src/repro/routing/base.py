@@ -9,7 +9,7 @@ and keeps the simulated routers simple.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional, Protocol, Tuple
 
 __all__ = [
@@ -42,18 +42,30 @@ class Route:
     intermediate:
         For indirect routes, the index *within* ``routers`` of the
         Valiant intermediate; ``None`` for minimal routes.
+    ports:
+        Optional precompiled output-port index per router-to-router hop
+        (``len(ports) == len(routers) - 1``, ejection port *not*
+        included).  Filled by :class:`repro.routing.cache.RouteCache`
+        so the simulator's packet construction needs no per-packet port
+        lookups; derived data, so it does not participate in equality.
     """
 
     routers: Tuple[int, ...]
     vcs: Tuple[int, ...]
     kind: str = ROUTE_MINIMAL
     intermediate: Optional[int] = None
+    ports: Optional[Tuple[int, ...]] = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         if len(self.vcs) != len(self.routers) - 1:
             raise ValueError(
                 f"Route: {len(self.routers)} routers need {len(self.routers) - 1} "
                 f"VC labels, got {len(self.vcs)}"
+            )
+        if self.ports is not None and len(self.ports) != len(self.routers) - 1:
+            raise ValueError(
+                f"Route: {len(self.routers)} routers need {len(self.routers) - 1} "
+                f"hop ports, got {len(self.ports)}"
             )
 
     @property

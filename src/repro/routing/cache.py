@@ -1,0 +1,183 @@
+"""Precompiled per-(src, dst) route-candidate cache.
+
+Routes between a fixed (src, dst) router pair are structurally static:
+the router sequence, the VC labels and the output port used at every hop
+never change during a simulation.  Only the *choice* among candidates is
+dynamic (random selection, UGAL's congestion-scored choice).  The legacy
+hot path nevertheless rebuilt a :class:`~repro.routing.base.Route` --
+VC assignment, tuple concatenation, frozen-dataclass construction -- for
+every candidate of every packet (~5 allocations per packet under UGAL,
+most immediately discarded).
+
+:class:`RouteCache` compiles each candidate exactly once into an
+immutable :class:`Route` carrying its hop-port tuple, so routing
+algorithms *select among* cached candidates and the simulator's packet
+construction needs a single eject-port lookup.  Three compiled forms
+cover the paper's algorithms:
+
+- :meth:`minimal_candidates` -- every minimal path of a pair
+  (:class:`~repro.routing.paths.MinimalPaths` order is preserved, so
+  seeded random selection picks the same candidate as the legacy path);
+- :meth:`compose` -- the indirect route through a given (first leg,
+  second leg) pair of minimal legs, built on first use and memoised
+  (the same leg combination recurs constantly under Valiant routing);
+- :meth:`self_route` -- the degenerate intra-router route.
+
+The cache is purely structural: it never reads congestion state, so
+adaptive decisions remain live and per-packet.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.routing.base import ROUTE_INDIRECT, ROUTE_MINIMAL, Route
+from repro.routing.paths import MinimalPaths, RouterPath
+from repro.routing.vc import VCPolicy
+from repro.topology.base import Topology
+
+__all__ = ["RouteCache", "compose_indirect"]
+
+
+def compose_indirect(
+    first_leg: Tuple[int, ...], second_leg: Tuple[int, ...]
+) -> Tuple[Tuple[int, ...], int]:
+    """Concatenate two minimal legs sharing the intermediate router.
+
+    Returns ``(routers, intermediate_index)``; the duplicated
+    intermediate is collapsed.
+    """
+    if first_leg[-1] != second_leg[0]:
+        raise ValueError(
+            f"compose_indirect: legs do not meet ({first_leg[-1]} != {second_leg[0]})"
+        )
+    routers = first_leg + second_leg[1:]
+    return routers, len(first_leg) - 1
+
+
+class RouteCache:
+    """Compiles and memoises immutable route candidates for one
+    (topology, VC policy) pair.
+
+    One instance is shared by all routing algorithms of one network --
+    :class:`~repro.routing.ugal.UGALRouting` passes its cache to its
+    minimal and indirect sub-routers, so the minimal candidates scored
+    by UGAL are the very objects :class:`~repro.routing.minimal.
+    MinimalRouting` would return.
+    """
+
+    def __init__(self, topology: Topology, vc_policy: VCPolicy):
+        self.topology = topology
+        self.vc_policy = vc_policy
+        self.paths = MinimalPaths(topology)
+        self._minimal: Dict[Tuple[int, int], Tuple[Route, ...]] = {}
+        self._composed: Dict[Tuple[RouterPath, RouterPath], Route] = {}
+        self._self: Dict[int, Route] = {}
+        # Row tables: plain-list indexing is markedly cheaper than
+        # hashing a (src, dst) tuple per lookup, which matters in UGAL's
+        # per-candidate scoring loop.  Entries are filled strictly on
+        # first use -- never eagerly -- because compiling a pair the
+        # simulation never routes can legitimately fail (e.g. a 3-hop
+        # minimal path on a degraded topology exceeds the VC budget).
+        n = topology.num_routers
+        self.leg_rows: List[Optional[List[Optional[Tuple[RouterPath, ...]]]]] = [None] * n
+        self.minimal_rows: List[Optional[List[Optional[Tuple[Route, ...]]]]] = [None] * n
+
+    # -- compilation ---------------------------------------------------------
+
+    def hop_ports(self, routers: Tuple[int, ...]) -> Tuple[int, ...]:
+        """Output-port index per router-to-router hop of *routers*."""
+        port = self.topology.port
+        return tuple(port(routers[i], routers[i + 1]) for i in range(len(routers) - 1))
+
+    def minimal_candidates(self, src: int, dst: int) -> Tuple[Route, ...]:
+        """All minimal routes ``src -> dst``, compiled; cached per pair.
+
+        Candidate order matches :meth:`MinimalPaths.paths`, which makes
+        seeded random selection over the compiled tuple draw-for-draw
+        identical with selection over the raw path tuple.
+        """
+        key = (src, dst)
+        cached = self._minimal.get(key)
+        if cached is None:
+            assign = self.vc_policy.assign
+            cached = tuple(
+                Route(
+                    routers=p,
+                    vcs=assign(p, None),
+                    kind=ROUTE_MINIMAL,
+                    intermediate=None,
+                    ports=self.hop_ports(p),
+                )
+                for p in self.paths.paths(src, dst)
+            )
+            self._minimal[key] = cached
+        return cached
+
+    def compose(self, first_leg: RouterPath, second_leg: RouterPath) -> Route:
+        """The compiled indirect route through ``first_leg + second_leg``.
+
+        Memoised per leg pair; the memo grows with the number of leg
+        combinations actually used, which is the same cardinality the
+        old per-``routers``-tuple port cache reached.
+        """
+        key = (first_leg, second_leg)
+        cached = self._composed.get(key)
+        if cached is None:
+            routers, inter_idx = compose_indirect(first_leg, second_leg)
+            cached = Route(
+                routers=routers,
+                vcs=self.vc_policy.assign(routers, inter_idx),
+                kind=ROUTE_INDIRECT,
+                intermediate=inter_idx,
+                ports=self.hop_ports(routers),
+            )
+            self._composed[key] = cached
+        return cached
+
+    def ensure_leg_row(self, a: int) -> List[Optional[Tuple[RouterPath, ...]]]:
+        """The (possibly empty) leg row for source *a*, creating it."""
+        row = self.leg_rows[a]
+        if row is None:
+            row = self.leg_rows[a] = [None] * self.topology.num_routers
+        return row
+
+    def leg_fill(self, a: int, b: int) -> Tuple[RouterPath, ...]:
+        """Slow path: enumerate, memoise and return the ``a -> b`` legs."""
+        row = self.ensure_leg_row(a)
+        cands = self.paths.paths(a, b)
+        row[b] = cands
+        return cands
+
+    def ensure_minimal_row(self, src: int) -> List[Optional[Tuple[Route, ...]]]:
+        """The (possibly empty) minimal row for source *src*, creating it."""
+        row = self.minimal_rows[src]
+        if row is None:
+            row = self.minimal_rows[src] = [None] * self.topology.num_routers
+        return row
+
+    def minimal_fill(self, src: int, dst: int) -> Tuple[Route, ...]:
+        """Slow path: compile, memoise and return ``src -> dst`` candidates."""
+        row = self.ensure_minimal_row(src)
+        cands = self.minimal_candidates(src, dst)
+        row[dst] = cands
+        return cands
+
+    def self_route(self, router: int) -> Route:
+        """The degenerate single-router route (intra-router traffic)."""
+        cached = self._self.get(router)
+        if cached is None:
+            cached = Route(routers=(router,), vcs=(), kind=ROUTE_MINIMAL, ports=())
+            self._self[router] = cached
+        return cached
+
+    # -- introspection -------------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        """Cache-size counters (pairs compiled, composed routes, selfs)."""
+        return {
+            "minimal_pairs": len(self._minimal),
+            "minimal_routes": sum(len(v) for v in self._minimal.values()),
+            "composed_routes": len(self._composed),
+            "self_routes": len(self._self),
+        }

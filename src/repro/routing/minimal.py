@@ -6,6 +6,14 @@ through a common neighbor.  When several minimal paths exist (rare:
 same-column MLFM pairs, symmetric OFT pairs, a few SF pairs) the paper's
 footnote offers two selections -- uniformly at random, or the one whose
 first output buffer is least occupied; both are implemented.
+
+Routes are precompiled per (src, dst) pair (see
+:mod:`repro.routing.cache`): the hot path *selects among* immutable
+cached candidates instead of materialising a fresh
+:class:`~repro.routing.base.Route` per packet.  ``compiled=False``
+restores the legacy per-packet construction -- the two paths are
+bit-identical under the same seed (the equivalence tests assert it),
+so the flag exists only for benchmarking and regression testing.
 """
 
 from __future__ import annotations
@@ -20,7 +28,7 @@ from repro.routing.base import (
     Route,
     RoutingAlgorithm,
 )
-from repro.routing.paths import MinimalPaths
+from repro.routing.cache import RouteCache
 from repro.routing.vc import VCPolicy, default_vc_policy
 from repro.topology.base import Topology
 
@@ -43,6 +51,14 @@ class MinimalRouting(RoutingAlgorithm):
         buffer (paper footnote 1).
     seed:
         RNG seed for reproducible random selections.
+    compiled:
+        Select among precompiled route candidates (default).  ``False``
+        rebuilds each route per packet (the legacy path, kept for
+        benchmarking and equivalence testing).
+    cache:
+        Optional shared :class:`~repro.routing.cache.RouteCache`
+        (:class:`~repro.routing.ugal.UGALRouting` passes its own so all
+        sub-routers compile each pair once).
     """
 
     name = "MIN"
@@ -53,14 +69,23 @@ class MinimalRouting(RoutingAlgorithm):
         vc_policy: Optional[VCPolicy] = None,
         selection: str = "random",
         seed: int = 0,
+        compiled: bool = True,
+        cache: Optional[RouteCache] = None,
     ):
         if selection not in ("random", "best"):
             raise ValueError(f"MinimalRouting: unknown selection {selection!r}")
         self.topology = topology
         self.vc_policy = vc_policy if vc_policy is not None else default_vc_policy(topology)
         self.selection = selection
-        self.paths = MinimalPaths(topology)
+        self.compiled = compiled
+        self.cache = cache if cache is not None else RouteCache(topology, self.vc_policy)
+        self.paths = self.cache.paths
         self._rng = random.Random(seed)
+        # randrange(n) for positive n is exactly _randbelow(n); binding it
+        # skips the wrapper while consuming the identical random stream.
+        self._randbelow = self._rng._randbelow
+        # Shared with the cache and filled in place as rows are built.
+        self._min_rows = self.cache.minimal_rows
 
     @property
     def num_vcs(self) -> int:
@@ -72,7 +97,35 @@ class MinimalRouting(RoutingAlgorithm):
         dst_router: int,
         congestion: CongestionContext = NULL_CONGESTION,
     ) -> Route:
-        candidates = self.paths.paths(src_router, dst_router)
+        if not self.compiled:
+            return self._route_legacy(src_router, dst_router, congestion)
+        row = self._min_rows[src_router]
+        candidates = row[dst_router] if row is not None else None
+        if candidates is None:
+            candidates = self.cache.minimal_fill(src_router, dst_router)
+        if len(candidates) == 1:
+            return candidates[0]
+        if self.selection == "random":
+            return candidates[self._randbelow(len(candidates))]
+        queue_len = congestion.queue_len
+        best = None
+        best_q = None
+        for route in candidates:
+            routers = route.routers
+            q = queue_len(routers[0], routers[1]) if len(routers) > 1 else 0
+            if best_q is None or q < best_q:
+                best = route
+                best_q = q
+        return best  # type: ignore[return-value]  # candidates is non-empty
+
+    def _route_legacy(
+        self,
+        src_router: int,
+        dst_router: int,
+        congestion: CongestionContext,
+    ) -> Route:
+        """Per-packet route construction (pre-cache behaviour)."""
+        candidates = self.cache.paths.paths(src_router, dst_router)
         if len(candidates) == 1:
             routers = candidates[0]
         elif self.selection == "random":

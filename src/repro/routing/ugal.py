@@ -21,6 +21,14 @@ generic algorithm's latency creep at high uniform loads.
 
 Ties are broken in favour of the minimal route, so an idle network
 routes minimally.
+
+The hot path is an allocation-free scoring loop over precompiled
+candidates (:mod:`repro.routing.cache`): each indirect candidate is
+scored from its two minimal *legs* (random draws and congestion
+lookups stay live, per-packet) and only the winner is materialised --
+as a memoised compiled route.  ``compiled=False`` restores the legacy
+build-everything-then-discard path; both are bit-identical under the
+same seed (identical RNG draw order and float arithmetic).
 """
 
 from __future__ import annotations
@@ -35,6 +43,7 @@ from repro.routing.base import (
     Route,
     RoutingAlgorithm,
 )
+from repro.routing.cache import RouteCache
 from repro.routing.minimal import MinimalRouting
 from repro.routing.valiant import IndirectRandomRouting
 from repro.routing.vc import VCPolicy, default_vc_policy
@@ -73,6 +82,10 @@ class UGALRouting(RoutingAlgorithm):
         Passed through to :class:`MinimalRouting`.
     seed:
         RNG seed.
+    compiled:
+        Score precompiled candidates allocation-free (default).
+        ``False`` rebuilds every candidate per packet (legacy path, for
+        benchmarking and equivalence testing).
     """
 
     def __init__(
@@ -88,6 +101,7 @@ class UGALRouting(RoutingAlgorithm):
         seed: int = 0,
         intermediates: Optional[Sequence[int]] = None,
         signal: str = "local",
+        compiled: bool = True,
     ):
         if cost_mode not in ("const", "sf"):
             raise ValueError(f"UGALRouting: unknown cost_mode {cost_mode!r}")
@@ -105,13 +119,42 @@ class UGALRouting(RoutingAlgorithm):
         self.c_sf = float(c_sf)
         self.threshold = threshold
         self.signal = signal
+        self.compiled = compiled
         self._rng = random.Random(seed)
+        # One shared compilation cache: the minimal candidates UGAL
+        # scores are the very objects the minimal sub-router returns.
+        self.cache = RouteCache(topology, self.vc_policy)
         self._minimal = MinimalRouting(
-            topology, vc_policy=self.vc_policy, selection=minimal_selection, seed=seed + 1
+            topology,
+            vc_policy=self.vc_policy,
+            selection=minimal_selection,
+            seed=seed + 1,
+            compiled=compiled,
+            cache=self.cache,
         )
         self._indirect = IndirectRandomRouting(
-            topology, vc_policy=self.vc_policy, seed=seed + 2, intermediates=intermediates
+            topology,
+            vc_policy=self.vc_policy,
+            seed=seed + 2,
+            intermediates=intermediates,
+            compiled=compiled,
+            cache=self.cache,
         )
+        # Hot-path bindings (stable for the lifetime of the object).
+        # The row-table lists are shared with the cache and mutated in
+        # place as rows are built, so binding them here stays coherent.
+        self._compose = self.cache.compose
+        self._minimal_random = minimal_selection == "random"
+        self._minimal_randbelow = self._minimal._rng._randbelow
+        self._indirect_randbelow = self._indirect._rng._randbelow
+        self._pool = self._indirect._pool
+        self._min_rows = self.cache.minimal_rows
+        self._leg_rows = self.cache.leg_rows
+        self._min_fill = self.cache.minimal_fill
+        self._leg_fill = self.cache.leg_fill
+        self._ensure_leg_row = self.cache.ensure_leg_row
+        self._local = signal == "local"
+        self._sf_mode = cost_mode == "sf"
         suffix = "ATh" if threshold is not None else "A"
         if signal == "global":
             suffix = "G" + suffix[1:] if suffix != "A" else "G"
@@ -127,6 +170,101 @@ class UGALRouting(RoutingAlgorithm):
         dst_router: int,
         congestion: CongestionContext = NULL_CONGESTION,
     ) -> Route:
+        if not self.compiled:
+            return self._route_legacy(src_router, dst_router, congestion)
+        # Inlined minimal selection (same RNG object and draw order as
+        # MinimalRouting.route over the same candidate tuple).
+        row = self._min_rows[src_router]
+        candidates = row[dst_router] if row is not None else None
+        if candidates is None:
+            candidates = self._min_fill(src_router, dst_router)
+        if len(candidates) == 1:
+            minimal = candidates[0]
+        elif self._minimal_random:
+            minimal = candidates[self._minimal_randbelow(len(candidates))]
+        else:
+            minimal = self._minimal.route(src_router, dst_router, congestion)
+        routers = minimal.routers
+        len_min = len(routers) - 1
+        if len_min == 0:
+            return minimal
+        queue_len = congestion.queue_len
+        local = self._local
+        if local:
+            q_min = queue_len(routers[0], routers[1])
+        else:
+            q_min = max(
+                queue_len(routers[i], routers[i + 1]) for i in range(len_min)
+            )
+
+        threshold = self.threshold
+        if threshold is not None and q_min < threshold * congestion.queue_capacity():
+            return minimal
+
+        # Allocation-free scoring: each indirect candidate is drawn as a
+        # (first leg, second leg) pair and scored straight off the leg
+        # tuples; only the winning candidate is materialised (memoised).
+        # Intermediate and leg draws are inlined from
+        # IndirectRandomRouting.pick_intermediate / _pick_leg -- same RNG
+        # object, same draw order, minus the call overhead.
+        best_cost = float(q_min)
+        best_first = None
+        best_second = None
+        randbelow = self._indirect_randbelow
+        pool = self._pool
+        npool = len(pool)
+        leg_rows = self._leg_rows
+        leg_fill = self._leg_fill
+        src_legs = leg_rows[src_router]
+        if src_legs is None:
+            src_legs = self._ensure_leg_row(src_router)
+        sf_mode = self._sf_mode
+        c = self.c
+        c_sf = self.c_sf
+        for _ in range(self.num_indirect):
+            while True:
+                inter = pool[randbelow(npool)]
+                if inter != src_router and inter != dst_router:
+                    break
+            cands = src_legs[inter]
+            if cands is None:
+                cands = leg_fill(src_router, inter)
+            first = cands[0] if len(cands) == 1 else cands[randbelow(len(cands))]
+            inter_legs = leg_rows[inter]
+            cands = inter_legs[dst_router] if inter_legs is not None else None
+            if cands is None:
+                cands = leg_fill(inter, dst_router)
+            second = cands[0] if len(cands) == 1 else cands[randbelow(len(cands))]
+            if local:
+                q_ind = queue_len(first[0], first[1])
+            else:
+                q_ind = max(
+                    max(queue_len(first[i], first[i + 1]) for i in range(len(first) - 1)),
+                    max(queue_len(second[i], second[i + 1]) for i in range(len(second) - 1)),
+                )
+            if sf_mode:
+                # Same association as the legacy penalty * q_ind product
+                # so the float results are bit-identical.
+                hops = len(first) + len(second) - 2
+                cost = ((hops / len_min) * c_sf) * q_ind
+            else:
+                cost = c * q_ind
+            # Strict inequality: ties go to the (shorter) minimal route.
+            if cost < best_cost:
+                best_cost = cost
+                best_first = first
+                best_second = second
+        if best_first is None:
+            return minimal
+        return self._compose(best_first, best_second)
+
+    def _route_legacy(
+        self,
+        src_router: int,
+        dst_router: int,
+        congestion: CongestionContext,
+    ) -> Route:
+        """Build-and-score every candidate per packet (pre-cache behaviour)."""
         minimal = self._minimal.route(src_router, dst_router, congestion)
         if minimal.num_hops == 0:
             return minimal
