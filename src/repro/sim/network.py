@@ -14,7 +14,7 @@ switch state, and offers the two measurement modes of the paper:
 from __future__ import annotations
 
 import random
-from typing import Dict, Iterable, Iterator, Optional, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.routing.base import RoutingAlgorithm
 from repro.sim.config import PAPER_CONFIG, SimConfig
@@ -44,6 +44,9 @@ class Network:
         self.num_vcs = routing.num_vcs
         self.stats = StatsCollector(topology.num_nodes, config)
         self._pid = 0
+        # Port-tuple fallback for routes without precompiled ports
+        # (legacy ``compiled=False`` algorithms, ad-hoc Route objects);
+        # compiled routes carry their hop ports and never touch it.
         self._route_port_cache: Dict[Tuple[int, ...], Tuple[int, ...]] = {}
         self.tracer = None  # optional PacketTracer (see enable_trace)
         self._utilization_window: Optional[float] = None
@@ -80,15 +83,29 @@ class Network:
                     )
                 )
 
-        # Upstream credit sinks for router inputs.
+        # Upstream credit sinks for router inputs, plus the directed
+        # channel -> OutputPort table behind the UGAL-L congestion
+        # signal (queue_len is called ~nI+1 times per packet; a
+        # row-indexed list lookup replaces a topology.port() resolution
+        # -- and the tuple-key hashing a dict would pay -- per call).
+        n_routers = topology.num_routers
+        self._channel_rows: List[List[Optional[OutputPort]]] = [
+            [None] * n_routers for _ in range(n_routers)
+        ]
         for r, router in enumerate(self.routers):
+            row = self._channel_rows[r]
             for out_idx, neighbor in enumerate(topology.neighbors(r)):
                 ds_router = self.routers[neighbor]
                 ds_in_idx = topology.port(neighbor, r)
                 ds_router.in_upstream[ds_in_idx] = router.make_credit_sink(out_idx)
+                row[neighbor] = router.out[out_idx]
 
-        # NICs (and their credit sinks at the injection inputs).
+        # NICs (and their credit sinks at the injection inputs).  The
+        # ejection port of each node is fixed by the wiring, so it is
+        # precomputed here: make_packet then does one list lookup
+        # instead of a degree() + nodes_of().index() scan per packet.
         self.nics = []
+        self._eject_ports = []
         for node in range(topology.num_nodes):
             r = topology.router_of(node)
             router = self.routers[r]
@@ -97,13 +114,13 @@ class Network:
             nic = NIC(node, self, router, deg + local)
             router.in_upstream[deg + local] = nic
             self.nics.append(nic)
+            self._eject_ports.append(deg + local)
 
     # -- CongestionContext (UGAL-L's local signal) -----------------------------
 
     def queue_len(self, router: int, neighbor: int) -> int:
         """Packets queued at *router* for the output toward *neighbor*."""
-        port = self.topology.port(router, neighbor)
-        return self.routers[router].out[port].queued
+        return self._channel_rows[router][neighbor].queued
 
     def queue_capacity(self) -> int:
         """Port buffer capacity in packets (threshold reference)."""
@@ -121,19 +138,18 @@ class Network:
     ) -> Packet:
         """Route and materialise one packet (called by the NIC at send time)."""
         topo = self.topology
-        src_router = topo.router_of(src_node)
-        dst_router = topo.router_of(dst_node)
-        route = self.routing.route(src_router, dst_router, self)
+        node_router = topo.router_of
+        route = self.routing.route(node_router(src_node), node_router(dst_node), self)
 
         routers = route.routers
-        hop_ports = self._route_port_cache.get(routers)
+        hop_ports = route.ports
         if hop_ports is None:
-            hop_ports = tuple(
-                topo.port(routers[i], routers[i + 1]) for i in range(len(routers) - 1)
-            )
-            self._route_port_cache[routers] = hop_ports
-        final = routers[-1]
-        eject_port = topo.degree(final) + topo.nodes_of(final).index(dst_node)
+            hop_ports = self._route_port_cache.get(routers)
+            if hop_ports is None:
+                hop_ports = tuple(
+                    topo.port(routers[i], routers[i + 1]) for i in range(len(routers) - 1)
+                )
+                self._route_port_cache[routers] = hop_ports
 
         self._pid += 1
         return Packet(
@@ -142,7 +158,7 @@ class Network:
             dst_node=dst_node,
             size=size,
             routers=routers,
-            ports=hop_ports + (eject_port,),
+            ports=hop_ports + (self._eject_ports[dst_node],),
             vcs=route.vcs,
             kind=route.kind,
             gen_time=gen_time,
@@ -368,6 +384,11 @@ class Network:
                 f"packets delivered (possible deadlock or event-budget exhaustion)"
             )
         completion = self.stats.last_eject - self.stats.first_inject
+        # Finite runs measure utilization over the whole exchange, so
+        # channel_utilization() works without an explicit window --
+        # previously it raised after run_exchange/run_workload.
+        if completion > 0:
+            self._utilization_window = completion
         result: Dict[str, object] = {
             "completion_ns": completion,
             "effective_throughput": self.stats.effective_throughput(total_bytes),

@@ -74,6 +74,27 @@ class TestChannelUtilization:
         key = next(k for k in a if k[0] != "eject")
         assert b[key] == pytest.approx(a[key] / 2)
 
+    def test_window_set_after_exchange(self, sf5):
+        from repro.traffic.alltoall import AllToAll
+
+        net = Network(sf5, MinimalRouting(sf5, seed=1))
+        res = net.run_exchange(AllToAll(sf5.num_nodes, message_bytes=256))
+        # Previously raised: no window was recorded for finite runs.
+        util = net.channel_utilization()
+        assert net._utilization_window == pytest.approx(res["completion_ns"])
+        router_links = [v for k, v in util.items() if k[0] != "eject"]
+        assert max(router_links) > 0
+        assert all(0.0 <= v <= 1.0 + 1e-9 for v in router_links)
+
+    def test_window_set_after_workload(self, sf5):
+        from repro.workload import ring_allgather
+
+        net = Network(sf5, MinimalRouting(sf5, seed=1))
+        res = net.run_workload(ring_allgather(sf5.num_nodes, 512))
+        util = net.channel_utilization()
+        assert net._utilization_window == pytest.approx(res["completion_ns"])
+        assert max(v for k, v in util.items() if k[0] != "eject") > 0
+
 
 class TestUGALGlobal:
     def test_signal_validation(self, sf5):
