@@ -177,19 +177,51 @@ def _cmd_info(args) -> int:
     return 0
 
 
+def _maybe_profile(enabled: bool, top: int = 20):
+    """Context manager wrapping a run in cProfile when *enabled*.
+
+    On exit prints the *top* functions by internal time to stderr, so
+    the profile never corrupts machine-readable stdout output.
+    """
+    import contextlib
+
+    if not enabled:
+        return contextlib.nullcontext()
+
+    import cProfile
+    import pstats
+
+    @contextlib.contextmanager
+    def _profiled():
+        prof = cProfile.Profile()
+        prof.enable()
+        try:
+            yield
+        finally:
+            prof.disable()
+            print(f"--- cProfile: top {top} functions by internal time ---",
+                  file=sys.stderr)
+            stats = pstats.Stats(prof, stream=sys.stderr)
+            stats.sort_stats("tottime")
+            stats.print_stats(top)
+
+    return _profiled()
+
+
 def _cmd_simulate(args) -> int:
     from repro.sim import Network
 
     topo = parse_topology(args.topology)
     net = Network(topo, _make_routing(topo, args.routing, args.seed))
     tracer = net.enable_trace(capacity=args.trace) if args.trace else None
-    stats = net.run_synthetic(
-        _make_pattern(topo, args.pattern, args.seed),
-        load=args.load,
-        warmup_ns=args.warmup,
-        measure_ns=args.measure,
-        seed=args.seed,
-    )
+    with _maybe_profile(args.profile):
+        stats = net.run_synthetic(
+            _make_pattern(topo, args.pattern, args.seed),
+            load=args.load,
+            warmup_ns=args.warmup,
+            measure_ns=args.measure,
+            seed=args.seed,
+        )
     print(
         f"{topo.name} routing={args.routing} pattern={args.pattern} load={args.load:.2f}: "
         f"throughput={stats.throughput:.3f} mean_latency={stats.mean_latency_ns:.1f}ns "
@@ -401,18 +433,19 @@ def _cmd_workload(args) -> int:
         from repro.workload import build_workload
 
         outcomes = []
-        for size in sizes:
-            workload = build_workload(
-                args.collective, topo.num_nodes, size, **wkwargs
-            )
-            outcomes.append(
-                run_workload(
-                    topo,
-                    lambda t, s: _make_routing(t, args.routing, s),
-                    workload,
-                    seed=args.seed,
+        with _maybe_profile(args.profile):
+            for size in sizes:
+                workload = build_workload(
+                    args.collective, topo.num_nodes, size, **wkwargs
                 )
-            )
+                outcomes.append(
+                    run_workload(
+                        topo,
+                        lambda t, s: _make_routing(t, args.routing, s),
+                        workload,
+                        seed=args.seed,
+                    )
+                )
     rows = [
         [
             size,
@@ -588,6 +621,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace", type=int, default=0, metavar="N",
                    help="record up to N delivered packets (route kind, latency); "
                         "warns if the capacity truncates the distribution")
+    p.add_argument("--profile", action="store_true",
+                   help="wrap the run in cProfile and print the top hot "
+                        "functions to stderr")
     p.set_defaults(func=_cmd_simulate)
 
     p = sub.add_parser("sweep", help="offered-load sweep")
@@ -634,6 +670,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--barrier", action="store_true",
                    help="phased-a2a: global barrier between phases")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--profile", action="store_true",
+                   help="wrap the serial run in cProfile and print the top "
+                        "hot functions to stderr (ignored with --jobs > 1: "
+                        "the work executes in worker processes)")
     add_orchestration_args(p)
     p.set_defaults(func=_cmd_workload)
 
