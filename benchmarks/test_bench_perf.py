@@ -1,0 +1,221 @@
+"""Simulator-throughput benchmark: the perf trajectory of the hot path.
+
+Measures packets/sec and events/sec for MIN / INR / UGAL on the small
+Slim Fly and MLFM instances, with the precompiled route-candidate cache
+on (the default) and off (the legacy per-packet construction), plus a
+routing-layer microbenchmark that times ``UGALRouting.route`` itself
+against live congestion state on a warmed network -- the purest view of
+the cached-vs-uncached difference, undiluted by event-queue costs.
+
+Results go to ``benchmarks/out/perf_summary.json`` so future PRs have a
+perf trajectory to regress against.  Wall-clock is taken as the best of
+``REPS`` interleaved repetitions: the minimum is robust against CPU
+contention on shared runners, and interleaving keeps both modes exposed
+to the same machine conditions.
+
+Set ``REPRO_PERF_BASELINE=<path to committed baseline JSON>`` (the CI
+perf-smoke job points it at ``benchmarks/perf_baseline.json``) to fail
+the run when cached packets/sec drops below 70% of the baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import time
+
+from repro.experiments.configs import configs_for_scale
+from repro.sim import Network
+from repro.sim.config import SimConfig
+from repro.traffic import UniformRandom
+
+LOAD = 0.4
+WARMUP_NS = 500.0
+MEASURE_NS = 2_000.0
+SEED = 0
+REPS = 3
+MICRO_ROUTES = 20_000
+REGRESSION_FLOOR = 0.7  # fail below 70% of the committed baseline
+
+
+def _force_mode(routing, compiled: bool):
+    routing.compiled = compiled
+    for sub in ("_minimal", "_indirect"):
+        if hasattr(routing, sub):
+            getattr(routing, sub).compiled = compiled
+    return routing
+
+
+def _configs(scale: str):
+    by_key = {cfg.key: cfg for cfg in configs_for_scale(scale)}
+    return {"sf": by_key["sf-floor"], "mlfm": by_key["mlfm"]}
+
+
+def _sim_once(cfg, kind: str, compiled: bool):
+    topo = cfg.topology()
+    builder = {"min": cfg.minimal, "inr": cfg.indirect, "ugal": cfg.adaptive}[kind]
+    routing = _force_mode(builder(topo), compiled)
+    net = Network(topo, routing, SimConfig())
+    t0 = time.perf_counter()
+    stats = net.run_synthetic(
+        UniformRandom(topo.num_nodes),
+        load=LOAD,
+        warmup_ns=WARMUP_NS,
+        measure_ns=MEASURE_NS,
+        seed=SEED,
+    )
+    wall = time.perf_counter() - t0
+    return wall, stats.ejected_packets, net.engine.events_executed
+
+
+def _bench_sim(cfg, kind: str):
+    """Interleaved best-of-REPS for one (config, routing) pair."""
+    walls = {True: [], False: []}
+    packets = events = None
+    for _ in range(REPS):
+        for compiled in (True, False):
+            wall, pkts, evs = _sim_once(cfg, kind, compiled)
+            walls[compiled].append(wall)
+            # Bit-identity means both modes deliver the same counts.
+            if packets is None:
+                packets, events = pkts, evs
+            assert (pkts, evs) == (packets, events), (
+                f"{cfg.key}/{kind}: cached and legacy runs diverged "
+                f"({pkts}, {evs}) != ({packets}, {events})"
+            )
+    out = {}
+    for compiled in (True, False):
+        wall = min(walls[compiled])
+        out["cached" if compiled else "uncached"] = {
+            "wall_s": round(wall, 4),
+            "packets_per_sec": round(packets / wall, 1),
+            "events_per_sec": round(events / wall, 1),
+        }
+    out["packets"] = packets
+    out["events"] = events
+    out["speedup"] = round(
+        out["cached"]["packets_per_sec"] / out["uncached"]["packets_per_sec"], 3
+    )
+    return out
+
+
+def _bench_routing_micro(cfg):
+    """Routing-layer microbenchmark: UGAL route() calls per second
+    against live congestion, cached vs uncached in the same run."""
+    topo = cfg.topology()
+    # Warm a network so congestion lookups see realistic occupancies.
+    net = Network(topo, cfg.adaptive(topo), SimConfig())
+    net.run_synthetic(
+        UniformRandom(topo.num_nodes),
+        load=0.6,
+        warmup_ns=500.0,
+        measure_ns=1_000.0,
+        seed=7,
+    )
+    pair_rng = random.Random(123)
+    n = topo.num_routers
+    pairs = []
+    while len(pairs) < MICRO_ROUTES:
+        s, d = pair_rng.randrange(n), pair_rng.randrange(n)
+        if s != d:
+            pairs.append((s, d))
+
+    def routes_per_sec(compiled: bool) -> tuple:
+        best = float("inf")
+        kinds = None
+        for _ in range(REPS):
+            routing = _force_mode(cfg.adaptive(topo), compiled)
+            route = routing.route
+            t0 = time.perf_counter()
+            indirect = 0
+            for s, d in pairs:
+                indirect += route(s, d, net).kind == "indirect"
+            best = min(best, time.perf_counter() - t0)
+            if kinds is None:
+                kinds = indirect
+            assert indirect == kinds, "route decisions diverged across reps"
+        return len(pairs) / best, kinds
+
+    cached_rps, kinds_c = routes_per_sec(True)
+    uncached_rps, kinds_u = routes_per_sec(False)
+    # Same seeds, same congestion snapshot: identical decisions.
+    assert kinds_c == kinds_u, (kinds_c, kinds_u)
+    return {
+        "routes": len(pairs),
+        "indirect_fraction": round(kinds_c / len(pairs), 4),
+        "cached_routes_per_sec": round(cached_rps, 1),
+        "uncached_routes_per_sec": round(uncached_rps, 1),
+        "speedup": round(cached_rps / uncached_rps, 3),
+    }
+
+
+def _check_baseline(summary) -> list:
+    """Compare cached throughputs against the committed baseline."""
+    path = os.environ.get("REPRO_PERF_BASELINE")
+    if not path:
+        return []
+    with open(path) as fh:
+        baseline = json.load(fh)
+    failures = []
+    for topo_key, per_routing in baseline.get("end_to_end", {}).items():
+        for kind, entry in per_routing.items():
+            ref = entry.get("cached", {}).get("packets_per_sec")
+            got = (
+                summary["end_to_end"]
+                .get(topo_key, {})
+                .get(kind, {})
+                .get("cached", {})
+                .get("packets_per_sec")
+            )
+            if ref and got and got < REGRESSION_FLOOR * ref:
+                failures.append(
+                    f"{topo_key}/{kind}: {got:.0f} pkts/s < "
+                    f"{REGRESSION_FLOOR:.0%} of baseline {ref:.0f}"
+                )
+    micro_ref = baseline.get("ugal_sf_routing_microbench", {}).get(
+        "cached_routes_per_sec"
+    )
+    micro_got = summary["ugal_sf_routing_microbench"]["cached_routes_per_sec"]
+    if micro_ref and micro_got < REGRESSION_FLOOR * micro_ref:
+        failures.append(
+            f"routing microbench: {micro_got:.0f} routes/s < "
+            f"{REGRESSION_FLOOR:.0%} of baseline {micro_ref:.0f}"
+        )
+    return failures
+
+
+def test_bench_perf(scale, report_dir):
+    configs = _configs(scale)
+    summary = {
+        "scale": scale,
+        "load": LOAD,
+        "warmup_ns": WARMUP_NS,
+        "measure_ns": MEASURE_NS,
+        "reps": REPS,
+        "end_to_end": {},
+    }
+    for topo_key, cfg in configs.items():
+        summary["end_to_end"][topo_key] = {
+            kind: _bench_sim(cfg, kind) for kind in ("min", "inr", "ugal")
+        }
+    summary["ugal_sf_routing_microbench"] = _bench_routing_micro(configs["sf"])
+
+    (report_dir / "perf_summary.json").write_text(
+        json.dumps(summary, indent=2, sort_keys=True) + "\n"
+    )
+
+    # The routing-layer cache must pay for itself where it matters: the
+    # UGAL hot path on the Slim Fly (acceptance gate: >= 1.3x).
+    assert summary["ugal_sf_routing_microbench"]["speedup"] >= 1.3, summary[
+        "ugal_sf_routing_microbench"
+    ]
+    # End-to-end, cached must never be slower than legacy beyond noise
+    # (same tolerance as the baseline regression check: shared runners
+    # can skew a single mode's wall-clock by tens of percent).
+    for topo_key, per_routing in summary["end_to_end"].items():
+        for kind, entry in per_routing.items():
+            assert entry["speedup"] > REGRESSION_FLOOR, (topo_key, kind, entry)
+
+    failures = _check_baseline(summary)
+    assert not failures, "; ".join(failures)
