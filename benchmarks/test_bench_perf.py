@@ -100,6 +100,47 @@ def _bench_sim(cfg, kind: str):
     return out
 
 
+def _bench_checker_overhead(cfg, kind: str = "ugal"):
+    """Wall-clock cost of the runtime invariant checker (``--check``) on
+    one end-to-end simulation, interleaved best-of-REPS.  Deliberately
+    NOT part of the ``REPRO_PERF_BASELINE`` regression gate
+    (``_check_baseline`` only reads ``end_to_end`` and the routing
+    microbench): the checker is an opt-in debugging tool, so its cost is
+    tracked and bounded but never fails a perf-smoke run."""
+    topo = cfg.topology()
+    walls = {False: [], True: []}
+    packets = None
+    for _ in range(REPS):
+        for check in (False, True):
+            routing = {"min": cfg.minimal, "inr": cfg.indirect,
+                       "ugal": cfg.adaptive}[kind](topo)
+            net = Network(topo, routing, SimConfig(check=check))
+            t0 = time.perf_counter()
+            stats = net.run_synthetic(
+                UniformRandom(topo.num_nodes),
+                load=LOAD,
+                warmup_ns=WARMUP_NS,
+                measure_ns=MEASURE_NS,
+                seed=SEED,
+            )
+            walls[check].append(time.perf_counter() - t0)
+            # The checker must not change the physics.
+            if packets is None:
+                packets = stats.ejected_packets
+            assert stats.ejected_packets == packets, (
+                f"checker changed delivery count: {stats.ejected_packets} "
+                f"!= {packets}"
+            )
+    plain, checked = min(walls[False]), min(walls[True])
+    return {
+        "case": f"{cfg.key}/{kind}",
+        "packets": packets,
+        "unchecked_wall_s": round(plain, 4),
+        "checked_wall_s": round(checked, 4),
+        "overhead": round(checked / plain, 3),
+    }
+
+
 def _bench_routing_micro(cfg):
     """Routing-layer microbenchmark: UGAL route() calls per second
     against live congestion, cached vs uncached in the same run."""
@@ -200,6 +241,7 @@ def test_bench_perf(scale, report_dir):
             kind: _bench_sim(cfg, kind) for kind in ("min", "inr", "ugal")
         }
     summary["ugal_sf_routing_microbench"] = _bench_routing_micro(configs["sf"])
+    summary["checker_overhead"] = _bench_checker_overhead(configs["sf"])
 
     (report_dir / "perf_summary.json").write_text(
         json.dumps(summary, indent=2, sort_keys=True) + "\n"
@@ -216,6 +258,10 @@ def test_bench_perf(scale, report_dir):
     for topo_key, per_routing in summary["end_to_end"].items():
         for kind, entry in per_routing.items():
             assert entry["speedup"] > REGRESSION_FLOOR, (topo_key, kind, entry)
+
+    # The invariant checker advertises "about 2x"; gate it at < 3x so a
+    # hook that quietly lands on the hot path is caught here.
+    assert summary["checker_overhead"]["overhead"] < 3.0, summary["checker_overhead"]
 
     failures = _check_baseline(summary)
     assert not failures, "; ".join(failures)

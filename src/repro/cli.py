@@ -208,11 +208,26 @@ def _maybe_profile(enabled: bool, top: int = 20):
     return _profiled()
 
 
+def _sim_config(args):
+    """The run's SimConfig: the paper's, plus --check when requested."""
+    from repro.sim import PAPER_CONFIG, SimConfig
+
+    return SimConfig(check=True) if getattr(args, "check", False) else PAPER_CONFIG
+
+
+def _print_check_summary(net) -> None:
+    checker = net.checker
+    print(
+        f"check: invariants verified ({checker.injected} packets tracked, "
+        f"{checker.audits} full audits, {checker.history.appended} transitions)"
+    )
+
+
 def _cmd_simulate(args) -> int:
     from repro.sim import Network
 
     topo = parse_topology(args.topology)
-    net = Network(topo, _make_routing(topo, args.routing, args.seed))
+    net = Network(topo, _make_routing(topo, args.routing, args.seed), _sim_config(args))
     tracer = net.enable_trace(capacity=args.trace) if args.trace else None
     with _maybe_profile(args.profile):
         stats = net.run_synthetic(
@@ -227,6 +242,8 @@ def _cmd_simulate(args) -> int:
         f"throughput={stats.throughput:.3f} mean_latency={stats.mean_latency_ns:.1f}ns "
         f"p99={stats.p99_latency_ns:.1f}ns packets={stats.ejected_packets}"
     )
+    if net.checker is not None:
+        _print_check_summary(net)
     if tracer is not None:
         kinds = ", ".join(f"{k}={v}" for k, v in sorted(tracer.by_kind().items()))
         print(f"trace: {len(tracer.records)} packets recorded ({kinds})")
@@ -326,6 +343,7 @@ def _cmd_campaign(args) -> int:
 
     loads = [float(x) for x in args.loads.split(",")]
     seeds = [int(x) for x in args.seeds.split(",")]
+    config = _sim_config(args)
     jobs = []
     for topo_spec in args.topologies.split(";"):
         topo = parse_topology(topo_spec)
@@ -340,6 +358,7 @@ def _cmd_campaign(args) -> int:
                         warmup_ns=args.warmup,
                         measure_ns=args.measure,
                         seed=seed,
+                        config=config,
                         tag=f"{topo_spec}/{routing}/{pattern}/s{seed}",
                     ))
     orch = _make_orchestrator(args)
@@ -407,6 +426,7 @@ def _cmd_workload(args) -> int:
         total = sum(kinds.values()) or 1
         return kinds.get("indirect", 0) / total
 
+    config = _sim_config(args)
     orch = None
     if _orchestration_requested(args):
         from repro.orchestrate import cli_routing_spec, workload_size_jobs
@@ -419,6 +439,7 @@ def _cmd_workload(args) -> int:
             sizes,
             workload_kwargs=wkwargs,
             seed=args.seed,
+            config=config,
         )
         result = orch.run(jobs)
         try:
@@ -444,6 +465,7 @@ def _cmd_workload(args) -> int:
                         lambda t, s: _make_routing(t, args.routing, s),
                         workload,
                         seed=args.seed,
+                        config=config,
                     )
                 )
     rows = [
@@ -464,6 +486,8 @@ def _cmd_workload(args) -> int:
         rows,
         title=f"{topo.name} {args.collective} routing={args.routing} (closed loop)",
     ))
+    if args.check:
+        print("check: invariant checker enabled; all runs completed without violation")
     if orch is not None:
         _print_campaign_stats(orch.last_stats)
     return 0
@@ -596,6 +620,13 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--measure", type=float, default=8_000.0)
         p.add_argument("--seed", type=int, default=0)
 
+    def add_check_arg(p):
+        p.add_argument("--check", action="store_true",
+                       help="run with the invariant checker (repro.sim.invariants): "
+                            "verifies packet conservation, credit loops, VC "
+                            "legality, latency floors and progress on every "
+                            "transition; ~2x slower, identical results")
+
     def add_orchestration_args(p):
         g = p.add_argument_group("orchestration (repro.orchestrate)")
         g.add_argument("--jobs", type=int, default=1, metavar="N",
@@ -624,6 +655,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--profile", action="store_true",
                    help="wrap the run in cProfile and print the top hot "
                         "functions to stderr")
+    add_check_arg(p)
     p.set_defaults(func=_cmd_simulate)
 
     p = sub.add_parser("sweep", help="offered-load sweep")
@@ -648,6 +680,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--measure", type=float, default=8_000.0)
     p.add_argument("--summary-json", default=None, metavar="FILE",
                    help="write the campaign summary (wall-clock, cache hits, ev/s) as JSON")
+    add_check_arg(p)
     add_orchestration_args(p)
     p.set_defaults(func=_cmd_campaign)
 
@@ -674,6 +707,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="wrap the serial run in cProfile and print the top "
                         "hot functions to stderr (ignored with --jobs > 1: "
                         "the work executes in worker processes)")
+    add_check_arg(p)
     add_orchestration_args(p)
     p.set_defaults(func=_cmd_workload)
 
@@ -726,6 +760,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except Exception as exc:
+        # Surface invariant violations as their structured report rather
+        # than a traceback that buries it (lazy import: the checker may
+        # never have been loaded).
+        from repro.sim.invariants import InvariantViolation
+
+        if isinstance(exc, InvariantViolation):
+            print(exc.report(), file=sys.stderr)
+            return 3
+        raise
     except BrokenPipeError:
         # Output piped into a closed reader (e.g. `| head`): not an error.
         return 0

@@ -1,0 +1,205 @@
+"""Golden end-to-end conformance fingerprints.
+
+One fingerprint per topology x routing combination of the tiny-scale
+evaluation configurations (:func:`repro.experiments.configs
+.configs_for_scale`): the full :class:`~repro.sim.stats.WindowStats` of
+a short uniform-traffic run plus a SHA-256 digest over the ordered
+delivered-packet stream (pid, endpoints, route kind, ejection time).
+The goldens are committed at ``tests/golden/conformance.json``; the
+conformance test suite (``tests/test_golden_conformance.py``) recomputes
+them serially, through a process pool, with the legacy (uncompiled)
+routing path, and with the invariant checker enabled -- so any future
+kernel, route-cache or checker change that alters *behaviour*, not just
+crashes, fails loudly against a reviewable diff.
+
+The fingerprint deliberately excludes event counts: the invariant
+checker's watchdog schedules extra (physics-free) events, and the whole
+point is that checked and unchecked runs must agree on everything a
+paper figure could consume.
+
+Regenerate after an *intended* behaviour change with::
+
+    python -m repro.experiments.conformance --write
+
+and commit the resulting JSON together with the change that explains it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+from typing import Dict, List
+
+from repro.experiments.configs import configs_for_scale
+from repro.sim import Network, SimConfig
+from repro.traffic import UniformRandom
+
+__all__ = [
+    "GOLDEN_PATH",
+    "CASE_KEYS",
+    "run_case",
+    "compute_fingerprints",
+    "load_golden",
+    "diff_fingerprints",
+]
+
+#: Repo-relative location of the committed goldens.
+GOLDEN_PATH = "tests/golden/conformance.json"
+
+#: Run parameters -- small enough that the full 12-case suite stays in
+#: test-suite budget, long enough that every pipeline stage (credit
+#: stalls, VC round-robin, indirect routes) is exercised.
+SCALE = "tiny"
+LOAD = 0.3
+WARMUP_NS = 300.0
+MEASURE_NS = 1_200.0
+ROUTING_SEED = 0
+TRAFFIC_SEED = 1_000  # the runner's seed contract: traffic = seed + 1000
+
+_ROUTING_KINDS = ("min", "inr", "ugal")
+
+#: Every topology x routing case, in deterministic order.
+CASE_KEYS: List[str] = [
+    f"{cfg.key}/{kind}"
+    for cfg in configs_for_scale(SCALE)
+    for kind in _ROUTING_KINDS
+]
+
+
+def _build(case_key: str, check: bool, compiled: bool) -> Network:
+    topo_key, _, kind = case_key.partition("/")
+    by_key = {cfg.key: cfg for cfg in configs_for_scale(SCALE)}
+    if topo_key not in by_key or kind not in _ROUTING_KINDS:
+        raise ValueError(f"unknown conformance case {case_key!r}")
+    cfg = by_key[topo_key]
+    topo = cfg.topology()
+    builder = {"min": cfg.minimal, "inr": cfg.indirect, "ugal": cfg.adaptive}[kind]
+    routing = builder(topo, seed=ROUTING_SEED)
+    # Force the requested routing implementation (default True); the
+    # legacy path must produce bit-identical fingerprints.
+    routing.compiled = compiled
+    for sub in ("_minimal", "_indirect"):
+        if hasattr(routing, sub):
+            getattr(routing, sub).compiled = compiled
+    return Network(topo, routing, SimConfig(check=check))
+
+
+def run_case(case_key: str, check: bool = False, compiled: bool = True) -> Dict:
+    """Compute one case's fingerprint (picklable: runs in pool workers).
+
+    Returns ``{"stats": {... WindowStats fields ...}, "digest": hex,
+    "delivered": total}``.  Floats pass through ``json`` unchanged
+    (round-trip exact), so fingerprints compare with ``==``.
+    """
+    net = _build(case_key, check, compiled)
+    digest = hashlib.sha256()
+
+    def record(pkt) -> None:
+        digest.update(
+            f"{pkt.pid}:{pkt.src_node}:{pkt.dst_node}:{pkt.kind}:"
+            f"{pkt.eject_time!r};".encode()
+        )
+
+    net.add_delivery_listener(record)
+    stats = net.run_synthetic(
+        UniformRandom(net.topology.num_nodes),
+        load=LOAD,
+        warmup_ns=WARMUP_NS,
+        measure_ns=MEASURE_NS,
+        seed=TRAFFIC_SEED,
+        drain=True,
+    )
+    return {
+        "stats": {name: getattr(stats, name) for name in stats.__slots__},
+        "digest": digest.hexdigest(),
+        "delivered": net.stats.ejected_total,
+    }
+
+
+def compute_fingerprints(
+    case_keys=None, check: bool = False, compiled: bool = True
+) -> Dict[str, Dict]:
+    """Fingerprints for *case_keys* (default: all), serially."""
+    return {
+        key: run_case(key, check=check, compiled=compiled)
+        for key in (CASE_KEYS if case_keys is None else case_keys)
+    }
+
+
+def load_golden(path: str = GOLDEN_PATH) -> Dict[str, Dict]:
+    """The committed golden fingerprints, keyed by case."""
+    with open(path) as fh:
+        return json.load(fh)["cases"]
+
+
+def diff_fingerprints(golden: Dict, computed: Dict) -> List[str]:
+    """Human-readable mismatches between two fingerprint maps."""
+    problems = []
+    for key in sorted(set(golden) | set(computed)):
+        if key not in computed:
+            problems.append(f"{key}: missing from computed set")
+            continue
+        if key not in golden:
+            problems.append(f"{key}: not in golden file (regenerate goldens)")
+            continue
+        want, got = golden[key], computed[key]
+        if want["digest"] != got["digest"]:
+            problems.append(
+                f"{key}: delivery-stream digest changed "
+                f"({want['digest'][:12]} -> {got['digest'][:12]}, "
+                f"delivered {want['delivered']} -> {got['delivered']})"
+            )
+        for field, ref in want["stats"].items():
+            val = got["stats"].get(field)
+            if val != ref:
+                problems.append(f"{key}: stats.{field} changed {ref!r} -> {val!r}")
+    return problems
+
+
+def write_golden(path: str = GOLDEN_PATH) -> Dict[str, Dict]:
+    """Recompute all fingerprints and write the golden file."""
+    cases = compute_fingerprints()
+    payload = {
+        "meta": {
+            "scale": SCALE,
+            "load": LOAD,
+            "warmup_ns": WARMUP_NS,
+            "measure_ns": MEASURE_NS,
+            "routing_seed": ROUTING_SEED,
+            "traffic_seed": TRAFFIC_SEED,
+            "note": "regenerate with: python -m repro.experiments.conformance --write",
+        },
+        "cases": cases,
+    }
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return cases
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.conformance",
+        description="verify or regenerate the golden conformance fingerprints",
+    )
+    parser.add_argument("--write", action="store_true",
+                        help="recompute and overwrite the golden file")
+    parser.add_argument("--path", default=GOLDEN_PATH,
+                        help="golden JSON location (default: %(default)s)")
+    args = parser.parse_args(argv)
+    if args.write:
+        cases = write_golden(args.path)
+        print(f"wrote {len(cases)} fingerprints to {args.path}")
+        return 0
+    problems = diff_fingerprints(load_golden(args.path), compute_fingerprints())
+    if problems:
+        for problem in problems:
+            print(f"MISMATCH {problem}")
+        return 1
+    print(f"all {len(CASE_KEYS)} conformance cases match {args.path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

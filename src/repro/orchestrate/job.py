@@ -43,7 +43,10 @@ __all__ = ["Job", "JobResult", "run_job", "CACHE_VERSION", "sim_config_dict"]
 
 #: Bumped whenever the result schema or simulation semantics change in a
 #: way that invalidates cached results; part of every content hash.
-CACHE_VERSION = 1
+#: v2: SimConfig grew ``check`` (the invariant checker), so the config
+#: dict -- and with it every content hash -- changed shape; checked and
+#: unchecked runs cache separately (a cached hit would skip verification).
+CACHE_VERSION = 2
 
 
 def sim_config_dict(config: SimConfig) -> Dict[str, Any]:

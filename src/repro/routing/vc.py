@@ -44,6 +44,17 @@ class VCPolicy:
         """VCs the simulator must provision for this policy."""
         return self.num_vcs_indirect if uses_indirect else self.num_vcs_minimal
 
+    def check_legal(self, vcs: Tuple[int, ...], kind: str) -> Optional[str]:
+        """Deadlock-avoidance legality of a route's VC labels.
+
+        Returns ``None`` when *vcs* (one label per hop, route kind
+        ``"minimal"`` or ``"indirect"``) satisfies this policy's ordering
+        rules, else a human-readable description of the illegality.
+        Used by the runtime invariant checker
+        (:mod:`repro.sim.invariants`); the base policy accepts anything.
+        """
+        return None
+
 
 class HopIndexVC(VCPolicy):
     """VC = hop index (Slim Fly scheme: 2 VCs minimal, 4 VCs indirect).
@@ -73,6 +84,18 @@ class HopIndexVC(VCPolicy):
             )
         return tuple(range(hops))
 
+    def check_legal(self, vcs: Tuple[int, ...], kind: str) -> Optional[str]:
+        expected = tuple(range(len(vcs)))
+        if vcs != expected:
+            return (
+                f"hop-indexed VC order requires strictly increasing VCs "
+                f"{expected}, route carries {vcs}"
+            )
+        budget = self.num_vcs_minimal if kind == "minimal" else self.num_vcs_indirect
+        if len(vcs) > budget:
+            return f"{kind} route of {len(vcs)} hops exceeds the {budget}-VC budget"
+        return None
+
 
 class PhaseVC(VCPolicy):
     """VC = Valiant phase (SSPT scheme: 1 VC minimal, 2 VCs indirect).
@@ -93,6 +116,15 @@ class PhaseVC(VCPolicy):
         # Hop h crosses routers[h] -> routers[h+1]; it belongs to phase 1
         # once it *departs* the intermediate.
         return tuple(0 if h < intermediate else 1 for h in range(hops))
+
+    def check_legal(self, vcs: Tuple[int, ...], kind: str) -> Optional[str]:
+        if any(vc > 1 for vc in vcs):
+            return f"phase VCs must be 0 or 1, route carries {vcs}"
+        if kind == "minimal" and any(vc != 0 for vc in vcs):
+            return f"minimal phase route must stay on VC 0, carries {vcs}"
+        if any(a > b for a, b in zip(vcs, vcs[1:])):
+            return f"phase VCs must be non-decreasing along the route, got {vcs}"
+        return None
 
 
 def default_vc_policy(topology: Topology) -> VCPolicy:

@@ -20,6 +20,7 @@ Typical use::
 
 from repro.sim.config import PAPER_CONFIG, SimConfig
 from repro.sim.engine import Engine
+from repro.sim.invariants import InvariantChecker, InvariantViolation
 from repro.sim.network import Network
 from repro.sim.packet import Packet
 from repro.sim.stats import StatsCollector, WindowStats
@@ -32,4 +33,6 @@ __all__ = [
     "Packet",
     "StatsCollector",
     "WindowStats",
+    "InvariantChecker",
+    "InvariantViolation",
 ]

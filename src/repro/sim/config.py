@@ -26,6 +26,12 @@ class SimConfig:
     switch_latency_ns: float = 100.0
     buffer_bytes_per_port: int = 100_000
     packet_bytes: int = 256
+    #: Enable the runtime invariant checker (repro.sim.invariants): the
+    #: network is built with checked routers/NICs that verify packet
+    #: conservation, credit loops, VC legality, latency floors and
+    #: progress on every transition.  Off by default -- checking costs
+    #: roughly 2x simulation time and does not change the physics.
+    check: bool = False
 
     def __post_init__(self) -> None:
         if self.link_bandwidth_gbps <= 0:

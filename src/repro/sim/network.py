@@ -43,6 +43,7 @@ class Network:
         self.engine = Engine()
         self.num_vcs = routing.num_vcs
         self.stats = StatsCollector(topology.num_nodes, config)
+        self.checker = None  # InvariantChecker when config.check is set
         self._pid = 0
         # Port-tuple fallback for routes without precompiled ports
         # (legacy ``compiled=False`` algorithms, ad-hoc Route objects);
@@ -56,12 +57,22 @@ class Network:
 
         vc_capacity = config.buffer_packets_per_vc(self.num_vcs)
 
+        # With checking enabled, routers and NICs are built as Checked*
+        # subclasses that notify the invariant checker around every
+        # transition; the unchecked hot path pays nothing for this.
+        if config.check:
+            from repro.sim.invariants import CheckedNIC, CheckedRouter
+
+            router_cls, nic_cls = CheckedRouter, CheckedNIC
+        else:
+            router_cls, nic_cls = Router, NIC
+
         # Build switches.
         self.routers = []
         for r in range(topology.num_routers):
             deg = topology.degree(r)
             p = topology.nodes_attached(r)
-            self.routers.append(Router(r, self, deg + p, self.num_vcs))
+            self.routers.append(router_cls(r, self, deg + p, self.num_vcs))
 
         # Wire router-to-router channels and ejection ports.  Output
         # queues get the same 100 KB/port/direction provisioning as the
@@ -111,10 +122,16 @@ class Network:
             router = self.routers[r]
             deg = topology.degree(r)
             local = topology.nodes_of(r).index(node)
-            nic = NIC(node, self, router, deg + local)
+            nic = nic_cls(node, self, router, deg + local)
             router.in_upstream[deg + local] = nic
             self.nics.append(nic)
             self._eject_ports.append(deg + local)
+
+        if config.check:
+            from repro.sim.invariants import InvariantChecker
+
+            self.checker = InvariantChecker(self)
+            self.checker.attach()
 
     # -- CongestionContext (UGAL-L's local signal) -----------------------------
 
@@ -293,6 +310,11 @@ class Network:
         self._utilization_window = measure_ns
         if drain:
             self.engine.run()
+        if self.checker is not None:
+            if drain:
+                self.checker.verify_quiescent()
+            else:
+                self.checker.audit()
         return self.stats.window_stats()
 
     def _generate(
@@ -328,7 +350,10 @@ class Network:
         """
         from repro.workload.driver import WorkloadDriver  # lazy: avoids cycle
 
-        return WorkloadDriver(self, workload).run(max_events=max_events)
+        result = WorkloadDriver(self, workload).run(max_events=max_events)
+        if self.checker is not None:
+            self.checker.verify_quiescent()
+        return result
 
     # -- finite exchanges ----------------------------------------------------------
 
@@ -383,6 +408,8 @@ class Network:
                 f"exchange incomplete: {self.stats.ejected_total}/{expected_packets} "
                 f"packets delivered (possible deadlock or event-budget exhaustion)"
             )
+        if self.checker is not None:
+            self.checker.verify_quiescent()
         completion = self.stats.last_eject - self.stats.first_inject
         # Finite runs measure utilization over the whole exchange, so
         # channel_utilization() works without an explicit window --

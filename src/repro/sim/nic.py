@@ -47,6 +47,7 @@ class NIC:
         "_ser",
         "_link",
         "queued_packets",
+        "credit_stalls",
     )
 
     def __init__(self, node: int, net: "Network", router: "Router", in_idx: int):
@@ -64,6 +65,9 @@ class NIC:
         self._ser = cfg.packet_time_ns
         self._link = cfg.link_latency_ns
         self.queued_packets = 0
+        # Times a pending packet found the link free but no injection
+        # credit; each such stall is resumed by credit_return().
+        self.credit_stalls = 0
 
     # -- driver interface ---------------------------------------------------
 
@@ -88,8 +92,24 @@ class NIC:
     # -- transmission ----------------------------------------------------------
 
     def try_send(self) -> None:
-        """Start transmitting the next packet if link and credits allow."""
-        if self.busy or self.credits <= 0:
+        """Start transmitting the next packet if link and credits allow.
+
+        Both blocking conditions re-attempt deterministically: a busy
+        link retries from :meth:`_link_free`, and exhausted credits
+        retry from :meth:`credit_return` the moment the router frees an
+        injection-buffer slot.  Engine events at equal timestamps run in
+        schedule order (the heap's sequence tie-breaker), so the resume
+        order -- and therefore packet order -- is reproducible run to
+        run and independent of the routing implementation.
+        """
+        if self.busy:
+            return
+        if self.credits <= 0:
+            # Link free but no downstream slot: the send is stalled
+            # until a credit returns.  Count it so tests (and the
+            # invariant checker's reports) can see the back-pressure.
+            if self.queue or self.source is not None:
+                self.credit_stalls += 1
             return
         gen_time = self.engine.now
         if self.queue:

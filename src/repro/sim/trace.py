@@ -8,12 +8,13 @@ debugging routing decisions and for fine-grained latency analysis.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from repro.sim.packet import Packet
 
-__all__ = ["PacketRecord", "PacketTracer"]
+__all__ = ["PacketRecord", "PacketTracer", "EventRing"]
 
 
 @dataclass(frozen=True)
@@ -92,3 +93,39 @@ class PacketTracer:
         for r in self.records:
             out[r.kind] = out.get(r.kind, 0) + 1
         return out
+
+
+class EventRing:
+    """Bounded ring of recent simulator events (time, label) pairs.
+
+    The invariant checker (:mod:`repro.sim.invariants`) appends one entry
+    per hooked state transition; when a violation is raised the ring's
+    tail becomes the "recent history" section of the report, giving the
+    events that led up to the inconsistency without unbounded memory.
+
+    Labels are %-style format strings whose arguments are kept raw and
+    only interpolated by :meth:`tail` -- appends sit on the checker's
+    per-transition hot path, rendering happens once per report.
+    """
+
+    __slots__ = ("_ring", "appended")
+
+    def __init__(self, capacity: int = 256):
+        if capacity < 1:
+            raise ValueError(f"EventRing: capacity {capacity} must be >= 1")
+        self._ring: deque = deque(maxlen=capacity)
+        self.appended = 0  # total appends, so truncation is visible
+
+    def append(self, time_ns: float, label: str, *args) -> None:
+        self._ring.append((time_ns, label, args))
+        self.appended += 1
+
+    def tail(self, count: int = 32) -> List[Tuple[float, str]]:
+        """The most recent *count* entries, oldest first, rendered."""
+        entries = list(self._ring)
+        if count < len(entries):
+            entries = entries[-count:]
+        return [(t, label % args if args else label) for t, label, args in entries]
+
+    def __len__(self) -> int:
+        return len(self._ring)

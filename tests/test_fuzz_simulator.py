@@ -11,14 +11,18 @@ import random
 
 import networkx as nx
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import assume, given, settings, strategies as st
 
+from repro.analysis.faults import degrade, safe_vc_policy
 from repro.analysis.linkload import channel_loads_minimal, saturation_throughput, uniform_flows
-from repro.routing import MinimalRouting
+from repro.routing import IndirectRandomRouting, MinimalRouting, UGALRouting
 from repro.routing.vc import HopIndexVC
-from repro.sim import Network, PAPER_CONFIG
+from repro.sim import Network, PAPER_CONFIG, SimConfig
+from repro.topology import SlimFly
 from repro.topology.base import Topology
 from repro.traffic import UniformRandom
+
+CHECKED = SimConfig(check=True)
 
 
 def random_regular_topology(degree: int, num_routers: int, p: int, seed: int) -> Topology:
@@ -125,3 +129,66 @@ def test_fuzz_utilization_physical_bounds(seed):
     if bound < 0.85:  # a real structural bottleneck exists
         router_links = {k: v for k, v in util.items() if k[0] != "eject"}
         assert max(router_links.values()) > 0.75
+
+
+def make_routing(kind: str, topo: Topology, seed: int):
+    """MIN / INR / UGAL with a VC budget sized to the topology."""
+    policy = vc_policy_for(topo)
+    if kind == "min":
+        return MinimalRouting(topo, vc_policy=policy, seed=seed)
+    if kind == "inr":
+        return IndirectRandomRouting(topo, vc_policy=policy, seed=seed)
+    return UGALRouting(topo, vc_policy=policy, seed=seed)
+
+
+@given(
+    st.sampled_from(["min", "inr", "ugal"]),
+    st.sampled_from([10, 14]),
+    st.integers(0, 10_000),
+)
+@settings(max_examples=9, deadline=None)
+def test_fuzz_checked_all_routings(kind, num_routers, seed):
+    """Random regular topologies under the invariant checker, across
+    every routing family (MIN / INR / UGAL): the checker verifies
+    conservation, credit loops, VC legality, latency floors and
+    progress on every single transition -- a far denser net than the
+    end-state assertions above."""
+    topo = random_regular_topology(4, num_routers, 2, seed)
+    net = Network(topo, make_routing(kind, topo, seed), CHECKED)
+    net.run_synthetic(
+        UniformRandom(topo.num_nodes), load=0.4,
+        warmup_ns=300, measure_ns=900, seed=seed, drain=True,
+    )
+    assert net.stats.injected_total == net.stats.ejected_total
+    assert not net.checker.location
+
+
+@given(
+    st.sampled_from(["min", "inr", "ugal"]),
+    st.sampled_from([0.05, 0.10, 0.20]),
+    st.integers(0, 10_000),
+)
+@settings(max_examples=9, deadline=None)
+def test_fuzz_checked_degraded_topologies(kind, fraction, seed):
+    """Degraded (link-failed) Slim Fly instances under the checker:
+    minimal paths lengthen past diameter two, so the VC budget comes
+    from analysis.faults.safe_vc_policy; every routing family must
+    still satisfy all invariants on the damaged network."""
+    degraded = degrade(SlimFly(5), fraction=fraction, seed=seed)
+    try:
+        policy = safe_vc_policy(degraded, uses_indirect=(kind != "min"))
+    except ValueError:
+        assume(False)  # failures disconnected the endpoint routers
+    if kind == "min":
+        routing = MinimalRouting(degraded, vc_policy=policy, seed=seed)
+    elif kind == "inr":
+        routing = IndirectRandomRouting(degraded, vc_policy=policy, seed=seed)
+    else:
+        routing = UGALRouting(degraded, vc_policy=policy, seed=seed)
+    net = Network(degraded, routing, CHECKED)
+    net.run_synthetic(
+        UniformRandom(degraded.num_nodes), load=0.3,
+        warmup_ns=300, measure_ns=900, seed=seed, drain=True,
+    )
+    assert net.stats.injected_total == net.stats.ejected_total
+    assert not net.checker.location

@@ -1,0 +1,91 @@
+"""Golden conformance suite (see repro.experiments.conformance).
+
+The committed fingerprints pin the simulator's end-to-end behaviour --
+full WindowStats plus a digest over the ordered delivery stream -- for
+every tiny-scale topology x routing combination.  Serial, process-pool,
+legacy-routing and checker-enabled runs must all reproduce them
+bit-identically; an intended behaviour change regenerates the goldens
+(``python -m repro.experiments.conformance --write``) so the diff is
+reviewed with the change that caused it.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import conformance
+
+GOLDEN = Path(__file__).parent / "golden" / "conformance.json"
+
+#: One case per topology for the expensive re-runs (legacy routing,
+#: process pool); the full matrix runs serially and under the checker.
+SPOT_CASES = ["sf-floor/ugal", "sf-ceil/min", "mlfm/inr", "oft/ugal"]
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return conformance.load_golden(str(GOLDEN))
+
+
+def test_case_keys_cover_all_combinations():
+    # 4 evaluation configs x 3 routings, and the golden file has them all.
+    assert len(conformance.CASE_KEYS) == 12
+    assert set(conformance.load_golden(str(GOLDEN))) == set(conformance.CASE_KEYS)
+    assert set(SPOT_CASES) <= set(conformance.CASE_KEYS)
+
+
+@pytest.mark.parametrize("case_key", conformance.CASE_KEYS)
+def test_serial_matches_golden(golden, case_key):
+    got = conformance.run_case(case_key)
+    problems = conformance.diff_fingerprints({case_key: golden[case_key]},
+                                             {case_key: got})
+    assert not problems, "\n".join(problems)
+
+
+@pytest.mark.parametrize("case_key", conformance.CASE_KEYS)
+def test_checker_preserves_physics(golden, case_key):
+    # Acceptance: --check runs every configs combination without a
+    # violation, and the checked run's observable behaviour (stats and
+    # delivery stream) is identical to the unchecked golden.
+    got = conformance.run_case(case_key, check=True)
+    problems = conformance.diff_fingerprints({case_key: golden[case_key]},
+                                             {case_key: got})
+    assert not problems, "\n".join(problems)
+
+
+@pytest.mark.parametrize("case_key", SPOT_CASES)
+def test_legacy_routing_matches_golden(golden, case_key):
+    got = conformance.run_case(case_key, compiled=False)
+    problems = conformance.diff_fingerprints({case_key: golden[case_key]},
+                                             {case_key: got})
+    assert not problems, "\n".join(problems)
+
+
+def test_process_pool_matches_golden(golden):
+    with ProcessPoolExecutor(max_workers=2) as pool:
+        results = list(pool.map(conformance.run_case, SPOT_CASES))
+    computed = dict(zip(SPOT_CASES, results))
+    problems = conformance.diff_fingerprints(
+        {key: golden[key] for key in SPOT_CASES}, computed
+    )
+    assert not problems, "\n".join(problems)
+
+
+def test_diff_reports_are_actionable(golden):
+    # The diff helper names the case, the field and both values --
+    # that's what makes a golden failure debuggable.
+    ref = golden["oft/min"]
+    mutated = {
+        "stats": dict(ref["stats"], ejected_packets=-1),
+        "digest": "0" * 64,
+        "delivered": 0,
+    }
+    problems = conformance.diff_fingerprints({"oft/min": ref}, {"oft/min": mutated})
+    assert any("digest changed" in p for p in problems)
+    assert any("stats.ejected_packets changed" in p for p in problems)
+    assert conformance.diff_fingerprints({"oft/min": ref}, {}) == [
+        "oft/min: missing from computed set"
+    ]

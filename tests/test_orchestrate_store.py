@@ -74,6 +74,7 @@ class TestContentHash:
             "switch_latency_ns": 120.0,
             "buffer_bytes_per_port": 50_000,
             "packet_bytes": 512,
+            "check": True,
         }
         for field in dataclasses.fields(defaults):
             config = sim_config_dict(defaults)
