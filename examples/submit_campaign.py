@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Submit a load-sweep campaign to a running ``repro serve`` instance.
+
+The service accepts the same declarative :class:`repro.orchestrate.Job`
+specs the CLI builds internally; a campaign is just a client-side grid
+expanded into a JSON list.  This script submits one, follows the live
+NDJSON event stream of the first job, polls the rest to completion and
+prints a throughput/latency table.  Identical points already computed —
+by anyone, ever — come back instantly from the content-addressed cache
+(watch the ``cached`` column on a second run).
+
+Start a server, then run the client:
+
+    python -m repro serve --port 8000 --workers 2 &
+    python examples/submit_campaign.py --base http://127.0.0.1:8000 \\
+        --topology sf:q=5 --loads 0.2,0.4,0.6 --tenant demo
+
+Stdlib only — this file doubles as the reference for writing your own
+client.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+import urllib.error
+import urllib.request
+
+
+def api(base: str, path: str, payload=None, tenant: str = "demo"):
+    """One JSON request against the service; raises on HTTP errors."""
+    req = urllib.request.Request(
+        base + path,
+        data=json.dumps(payload).encode() if payload is not None else None,
+        headers={"Content-Type": "application/json", "X-Tenant": tenant},
+        method="POST" if payload is not None else "GET",
+    )
+    with urllib.request.urlopen(req, timeout=60) as resp:
+        return json.load(resp)
+
+
+def stream_events(base: str, job_id: str) -> None:
+    """Print the live NDJSON progress stream for one job."""
+    with urllib.request.urlopen(base + f"/v1/jobs/{job_id}/events", timeout=300) as resp:
+        for raw in resp:
+            event = json.loads(raw)
+            kind = event.get("type")
+            if kind in ("record", "job_start", "job_done", "record_done"):
+                print(f"  [{job_id}] {kind}: "
+                      + ", ".join(f"{k}={v}" for k, v in sorted(event.items())
+                                  if k not in ("type", "ts")))
+            if kind == "record_done":
+                break
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--base", default="http://127.0.0.1:8000")
+    parser.add_argument("--topology", default="sf:q=5")
+    parser.add_argument("--routing", default="min")
+    parser.add_argument("--pattern", default="uniform")
+    parser.add_argument("--loads", default="0.2,0.4,0.6")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--warmup", type=float, default=300.0)
+    parser.add_argument("--measure", type=float, default=1200.0)
+    parser.add_argument("--tenant", default="demo")
+    args = parser.parse_args()
+
+    loads = [float(x) for x in args.loads.split(",")]
+    campaign = [
+        {
+            "kind": "sweep",
+            "topology": args.topology,
+            "routing": args.routing,
+            "pattern": args.pattern,
+            "load": load,
+            "seed": args.seed,
+            "warmup_ns": args.warmup,
+            "measure_ns": args.measure,
+            "tag": f"example/{args.topology}",
+        }
+        for load in loads
+    ]
+
+    try:
+        accepted = api(args.base, "/v1/jobs", campaign, tenant=args.tenant)
+    except urllib.error.URLError as exc:
+        print(f"cannot reach {args.base}: {exc}", file=sys.stderr)
+        print("start a server first:  python -m repro serve --port 8000",
+              file=sys.stderr)
+        return 1
+    print(f"accepted {accepted['accepted']}/{len(campaign)} jobs "
+          f"(rejected {accepted['rejected']} over quota)")
+
+    jobs = [item for item in accepted["jobs"] if "id" in item]
+    if jobs:
+        print(f"streaming events for {jobs[0]['id']}:")
+        stream_events(args.base, jobs[0]["id"])
+
+    rows = []
+    for item in jobs:
+        while True:
+            record = api(args.base, f"/v1/jobs/{item['id']}", tenant=args.tenant)
+            if record["status"] in ("done", "failed"):
+                break
+            time.sleep(0.2)
+        if record["status"] == "failed":
+            rows.append((item["id"], "failed", record.get("error"), "", ""))
+            continue
+        point = record["result"]["payload"]
+        rows.append(
+            (item["id"],
+             f"{point['load']:.2f}",
+             f"{point['throughput']:.3f}",
+             f"{point['mean_latency_ns']:.0f} ns",
+             "cache" if record["cached"] else
+             "coalesced" if record["coalesced"] else "ran")
+        )
+
+    print(f"\n{'job':<10} {'load':>5} {'thrpt':>6} {'latency':>10}  source")
+    for row in rows:
+        print(f"{row[0]:<10} {row[1]:>5} {row[2]:>6} {row[3]:>10}  {row[4]}")
+
+    stats = api(args.base, "/v1/stats", tenant=args.tenant)
+    m = stats["metrics"]
+    print(f"\nserver totals: {m['submitted']} submitted, "
+          f"{m['cache_hits']} cache hits, {m['coalesced']} coalesced, "
+          f"{m['misses']} executed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

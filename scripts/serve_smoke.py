@@ -1,0 +1,186 @@
+#!/usr/bin/env python3
+"""End-to-end smoke of ``repro serve`` — run by the serve-smoke CI job.
+
+Exercises the full service contract against a real server subprocess:
+
+1. start ``python -m repro serve`` on a free port, fresh store;
+2. POST the same tiny simulate job from two concurrent clients —
+   exactly one must execute and one coalesce (checked via /v1/stats);
+3. stream ``/v1/jobs/{id}/events`` NDJSON to completion;
+4. verify both clients got bit-identical payloads equal to the
+   serial-path result of the same job (the golden the conformance
+   suite locks down: parallel == serial for fixed seeds);
+5. a tenant over its queue quota gets 429;
+6. SIGTERM → clean drain: exit code 0 and still-queued work persisted.
+
+Exit status is 0 iff every step held.  Usable locally:
+
+    PYTHONPATH=src python scripts/serve_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+import urllib.error
+import urllib.request
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+#: Works both against an installed package (CI) and a bare checkout.
+ENV = dict(
+    os.environ,
+    PYTHONPATH=os.pathsep.join(
+        [str(REPO / "src")] + os.environ.get("PYTHONPATH", "").split(os.pathsep)
+    ).rstrip(os.pathsep),
+)
+
+#: Tiny but real: one Slim Fly sweep point, ~a second of simulation.
+SIM_JOB = {
+    "kind": "sweep",
+    "topology": "sf:q=5,p=floor",
+    "routing": "min",
+    "pattern": "uniform",
+    "load": 0.3,
+    "seed": 0,
+    "warmup_ns": 300.0,
+    "measure_ns": 1200.0,
+}
+
+SLOW_JOB = {"kind": "probe", "params": {"behavior": "sleep", "seconds": 5.0}}
+
+
+def fail(message: str) -> None:
+    print(f"FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check(condition: bool, message: str) -> None:
+    if not condition:
+        fail(message)
+    print(f"ok: {message}")
+
+
+def api(base, path, payload=None, tenant="smoke", timeout=60):
+    req = urllib.request.Request(
+        base + path,
+        data=json.dumps(payload).encode() if payload is not None else None,
+        headers={"Content-Type": "application/json", "X-Tenant": tenant},
+        method="POST" if payload is not None else "GET",
+    )
+    with urllib.request.urlopen(req, timeout=timeout) as resp:
+        return resp.status, json.load(resp)
+
+
+def main() -> int:
+    workdir = pathlib.Path(tempfile.mkdtemp(prefix="repro-serve-smoke-"))
+    store = workdir / "store"
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--host", "127.0.0.1",
+         "--port", "0", "--workers", "2", "--store", str(store),
+         "--max-queued", "1", "--max-running", "2"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        cwd=REPO,
+        env=ENV,
+    )
+    try:
+        # Parse the ready line for the bound port.
+        line = proc.stdout.readline()
+        if "listening on" not in line:
+            fail(f"unexpected server banner: {line!r}")
+        base = line.split("listening on ")[1].split()[0]
+        print(f"server up at {base}")
+
+        # -- two concurrent identical submissions -------------------------
+        records, barrier = [None, None], threading.Barrier(2)
+
+        def submit(slot: int) -> None:
+            barrier.wait()
+            _status, record = api(base, "/v1/jobs", SIM_JOB)
+            records[slot] = record
+
+        threads = [threading.Thread(target=submit, args=(i,)) for i in (0, 1)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        check(all(records), "both concurrent submissions accepted")
+        check(
+            sum(1 for r in records if r["coalesced"]) == 1,
+            "exactly one of two identical requests coalesced",
+        )
+
+        # -- stream events to completion -----------------------------------
+        ran = next(r for r in records if not r["coalesced"])
+        types = []
+        with urllib.request.urlopen(base + ran["events"], timeout=120) as resp:
+            for raw in resp:
+                event = json.loads(raw)
+                types.append(event["type"])
+                if event["type"] == "record_done":
+                    check(event["status"] == "done", "streamed job finished 'done'")
+                    break
+        check("job_done" in types, f"event stream carried scheduler telemetry {types}")
+
+        # -- bit-identical results matching the serial path ----------------
+        payloads = []
+        for record in records:
+            while True:
+                _s, rec = api(base, "/v1/jobs/" + record["id"])
+                if rec["status"] in ("done", "failed"):
+                    break
+                time.sleep(0.2)
+            check(rec["status"] == "done", f"{rec['id']} completed")
+            payloads.append(rec["result"]["payload"])
+        check(payloads[0] == payloads[1], "both clients got bit-identical payloads")
+
+        sys.path.insert(0, str(REPO / "src"))
+        from repro.orchestrate.job import Job, run_job
+
+        golden = run_job(Job.from_dict(dict(SIM_JOB))).payload
+        check(payloads[0] == golden, "served result matches serial-path golden")
+
+        _s, stats = api(base, "/v1/stats")
+        m = stats["metrics"]
+        check(m["coalesced"] == 1, "/v1/stats counts 1 coalesce")
+        check(m["misses"] == 1, "/v1/stats counts 1 execution")
+
+        # -- quota: queue slot exhausted answers 429 ------------------------
+        # max_running=2 absorbs the first two, the third occupies the
+        # single queued slot (max_queued=1), the fourth must bounce.
+        for seed in (0, 1, 2):
+            api(base, "/v1/jobs", dict(SLOW_JOB, seed=seed), tenant="greedy")
+        try:
+            api(base, "/v1/jobs", dict(SLOW_JOB, seed=3), tenant="greedy")
+        except urllib.error.HTTPError as exc:
+            check(exc.code == 429, "over-quota tenant got 429")
+        else:
+            fail("over-quota submission was not rejected")
+
+        # -- SIGTERM: graceful drain ---------------------------------------
+        proc.send_signal(signal.SIGTERM)
+        code = proc.wait(timeout=60)
+        check(code == 0, f"server drained cleanly (exit {code})")
+        state = store / "serve" / "queue_state.json"
+        check(state.exists(), "queued work persisted for restart")
+        entries = json.loads(state.read_text())["entries"]
+        check(len(entries) >= 1, f"{len(entries)} queued job(s) in drain state")
+        print("serve smoke: all checks passed")
+        return 0
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=10)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -578,6 +578,32 @@ def _cmd_reproduce(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    """Simulation-as-a-service front-end (repro.serve)."""
+    from repro.serve import serve
+
+    def ready(host: str, port: int) -> None:
+        # Parsed by smoke scripts and clients waiting for startup; keep
+        # the prefix stable.
+        print(f"repro-serve listening on http://{host}:{port} "
+              f"(workers={args.workers}, store={args.store})", flush=True)
+
+    return serve(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        store_dir=args.store,
+        spool_dir=args.spool,
+        max_queued=args.max_queued,
+        max_running=args.max_running,
+        job_timeout_s=args.job_timeout,
+        max_retries=args.retries,
+        inline=args.inline,
+        store_gc_age_s=args.store_gc_age,
+        ready=ready,
+    )
+
+
 def _cmd_scalability(args) -> int:
     from repro.analysis import scalability_table
     from repro.experiments.report import ascii_table
@@ -737,6 +763,41 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--output", default="reproduction_summary.md")
     p.add_argument("--json", default=None, help="also dump raw data as JSON")
     p.set_defaults(func=_cmd_reproduce)
+
+    p = sub.add_parser(
+        "serve",
+        help="simulation-as-a-service HTTP API (asyncio, repro.serve)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8000,
+                   help="TCP port (0 = pick a free one; the chosen port is "
+                        "printed on the ready line)")
+    p.add_argument("--workers", default="auto", metavar="N|MIN:MAX|auto",
+                   help="simulation worker pool: a fixed count, a min:max "
+                        "autoscaling range, or 'auto' (1:min(cpus,8), scaled "
+                        "by queue depth with hysteresis; default: %(default)s)")
+    p.add_argument("--store", default=".repro-cache", metavar="DIR",
+                   help="content-addressed ResultStore served at "
+                        "/v1/results/{hash} (default: %(default)s)")
+    p.add_argument("--spool", default=None, metavar="DIR",
+                   help="event streams + drain state (default: STORE/serve)")
+    p.add_argument("--max-queued", type=int, default=16, metavar="N",
+                   help="per-tenant queued-job quota; breach answers 429 "
+                        "(default: %(default)s)")
+    p.add_argument("--max-running", type=int, default=4, metavar="N",
+                   help="per-tenant concurrently-running ceiling; excess "
+                        "stays queued behind other tenants (default: %(default)s)")
+    p.add_argument("--job-timeout", type=float, default=None, metavar="S",
+                   help="per-job wall-clock timeout in seconds")
+    p.add_argument("--retries", type=int, default=1, metavar="K",
+                   help="extra attempts per failed/crashed job (default: %(default)s)")
+    p.add_argument("--store-gc-age", type=float, default=None, metavar="S",
+                   help="periodically prune cached results older than S seconds")
+    p.add_argument("--inline", action="store_true",
+                   help="run jobs in server threads instead of per-job "
+                        "worker processes (no crash isolation; for tests "
+                        "and fork-averse environments)")
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("scalability", help="Fig. 3 summary")
     p.add_argument("--max-radix", type=int, default=64)

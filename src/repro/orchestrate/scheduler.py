@@ -22,6 +22,7 @@ from __future__ import annotations
 import heapq
 import multiprocessing as mp
 import queue as queue_mod
+import threading
 import time
 import traceback
 from dataclasses import dataclass, field
@@ -78,6 +79,7 @@ class SerialScheduler:
         items: Sequence[Tuple[str, Job]],
         on_event: Optional[EventFn] = None,
         on_result: Optional[ResultFn] = None,
+        stop_event: Optional[threading.Event] = None,
     ) -> Dict[str, JobOutcome]:
         emit = on_event or _noop_event
         outcomes: Dict[str, JobOutcome] = {}
@@ -87,7 +89,14 @@ class SerialScheduler:
             if on_result is not None:
                 on_result(outcome.job_id, outcome)
 
-        for job_id, job in items:
+        for dispatched, (job_id, job) in enumerate(items):
+            # Cooperative drain: stop *dispatching*; the job currently
+            # executing (it runs inline here) already finished.  Jobs
+            # never dispatched are absent from the outcome map, which is
+            # how callers distinguish "not run" from "failed".
+            if stop_event is not None and stop_event.is_set():
+                emit("drain", remaining=len(items) - dispatched)
+                break
             attempt = 0
             while True:
                 attempt += 1
@@ -175,6 +184,9 @@ class _Pending:
     def __bool__(self) -> bool:
         return bool(self.ready or self.delayed)
 
+    def __len__(self) -> int:
+        return len(self.ready) + len(self.delayed)
+
 
 class ProcessPoolScheduler:
     """Fan jobs out over ``num_workers`` OS processes.
@@ -255,11 +267,15 @@ class ProcessPoolScheduler:
         items: Sequence[Tuple[str, Job]],
         on_event: Optional[EventFn] = None,
         on_result: Optional[ResultFn] = None,
+        stop_event: Optional[threading.Event] = None,
     ) -> Dict[str, JobOutcome]:
         emit = on_event or _noop_event
         outcomes: Dict[str, JobOutcome] = {}
         if not items:
             return outcomes
+
+        def stopped() -> bool:
+            return stop_event is not None and stop_event.is_set()
 
         def record(outcome: JobOutcome) -> None:
             outcomes[outcome.job_id] = outcome
@@ -285,10 +301,24 @@ class ProcessPoolScheduler:
                 record(JobOutcome(job_id, "failed", None, attempt, error))
                 emit("job_failed", job_id=job_id, attempts=attempt, error=error)
 
+        drained = False
         try:
             while pending or any(s.busy for s in slots.values()):
+                # Cooperative drain: stop dispatching, let in-flight
+                # workers finish, leave undispatched jobs unrecorded
+                # (callers re-queue them; see ``repro.serve``).
+                if stopped() and not any(s.busy for s in slots.values()):
+                    if not drained:
+                        drained = True
+                        emit("drain", remaining=len(pending))
+                    break
                 # Dispatch to idle workers.
                 for idx, slot in slots.items():
+                    if stopped():
+                        if not drained:
+                            drained = True
+                            emit("drain", remaining=len(pending))
+                        break
                     if slot.busy is not None:
                         continue
                     item = pending.pop()

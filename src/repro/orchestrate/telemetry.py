@@ -34,9 +34,16 @@ class Telemetry:
         live: Optional[bool] = None,
         clock=time.time,
         min_redraw_s: float = 0.1,
+        flush_every: int = 1,
     ):
         self._clock = clock
         self._fh: Optional[TextIO] = None
+        # External tailers (``repro serve``'s /events endpoint, `tail -f`)
+        # only see an event once it reaches the file, so the sink is
+        # flushed every ``flush_every`` lines — 1 (the default) means
+        # after every event; 0 defers to the io buffer / close().
+        self._flush_every = max(int(flush_every), 0)
+        self._lines_since_flush = 0
         if jsonl_path is not None:
             path = pathlib.Path(jsonl_path)
             path.parent.mkdir(parents=True, exist_ok=True)
@@ -64,7 +71,10 @@ class Telemetry:
             record = {"ts": self._clock(), "type": type}
             record.update(payload)
             self._fh.write(json.dumps(record, sort_keys=True) + "\n")
-            self._fh.flush()
+            self._lines_since_flush += 1
+            if self._flush_every and self._lines_since_flush >= self._flush_every:
+                self._fh.flush()
+                self._lines_since_flush = 0
         if self._live:
             self._redraw()
 

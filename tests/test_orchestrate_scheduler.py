@@ -8,6 +8,8 @@ be charged its retries and marked ``failed``, and every healthy job
 must complete.
 """
 
+import threading
+
 import pytest
 
 from repro.orchestrate import (
@@ -121,6 +123,80 @@ class TestProcessPoolScheduler:
             ProcessPoolScheduler(num_workers=0)
 
 
+class TestCooperativeStop:
+    """``stop_event`` drain contract: stop *dispatching*, finish what is
+    in flight, leave never-dispatched jobs out of the outcome map."""
+
+    def test_serial_preset_stop_runs_nothing(self):
+        stop = threading.Event()
+        stop.set()
+        events = []
+        sched = SerialScheduler()
+        outcomes = sched.run(
+            [(f"j{i}", probe(value=i, seed=i)) for i in range(3)],
+            on_event=lambda t, **p: events.append((t, p)),
+            stop_event=stop,
+        )
+        assert outcomes == {}
+        assert events == [("drain", {"remaining": 3})]
+
+    def test_serial_stop_mid_run_keeps_finished_work(self):
+        stop = threading.Event()
+        events = []
+
+        def on_event(event_type, **payload):
+            events.append(event_type)
+            if event_type == "job_done":
+                stop.set()
+
+        sched = SerialScheduler()
+        outcomes = sched.run(
+            [(f"j{i}", probe(value=i, seed=i)) for i in range(3)],
+            on_event=on_event,
+            stop_event=stop,
+        )
+        assert list(outcomes) == ["j0"]
+        assert outcomes["j0"].ok
+        assert "drain" in events
+
+    def test_pool_preset_stop_runs_nothing(self):
+        stop = threading.Event()
+        stop.set()
+        sched = ProcessPoolScheduler(num_workers=2, retry_backoff_s=0.01)
+        outcomes = sched.run(
+            [(f"j{i}", probe(value=i, seed=i)) for i in range(3)],
+            stop_event=stop,
+        )
+        assert outcomes == {}
+
+    def test_pool_stop_mid_run_finishes_in_flight_only(self):
+        stop = threading.Event()
+        events = []
+
+        def on_event(event_type, **payload):
+            events.append((event_type, payload))
+            if event_type == "job_done":
+                stop.set()
+
+        sched = ProcessPoolScheduler(num_workers=1, retry_backoff_s=0.01)
+        outcomes = sched.run(
+            [(f"j{i}", probe(value=i, seed=i, seconds=0.05)) for i in range(3)],
+            on_event=on_event,
+            stop_event=stop,
+        )
+        # One worker: exactly the first job completed, the rest were
+        # never dispatched and are absent (not "failed").
+        assert len(outcomes) == 1
+        assert all(o.ok for o in outcomes.values())
+        drains = [p for t, p in events if t == "drain"]
+        assert drains and drains[0]["remaining"] == 2
+
+    def test_no_stop_event_is_unchanged(self):
+        sched = SerialScheduler()
+        outcomes = sched.run([("j0", probe(value=1))], stop_event=None)
+        assert outcomes["j0"].ok
+
+
 class TestMakeScheduler:
     def test_dispatch(self):
         assert isinstance(make_scheduler(1), SerialScheduler)
@@ -168,6 +244,30 @@ class TestCampaignDegradation:
         assert summary["jobs"]["retries"] == 1
         assert summary["jobs"]["total"] == 4
         assert summary["wall_clock_s"] > 0
+
+    def test_telemetry_flushes_each_line_by_default(self, tmp_path):
+        # The service tails these files live; a buffered line would be
+        # invisible to a streaming client until the run ended.
+        path = tmp_path / "events.jsonl"
+        tele = Telemetry(jsonl_path=path, live=False)
+        try:
+            tele.emit("job_start", job_id="j0")
+            assert path.read_text().count("\n") == 1
+            tele.emit("job_done", job_id="j0")
+            assert path.read_text().count("\n") == 2
+        finally:
+            tele.close()
+
+    def test_telemetry_flush_every_defers_writes(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        tele = Telemetry(jsonl_path=path, live=False, flush_every=1000)
+        try:
+            tele.emit("job_start", job_id="j0")
+            buffered = path.read_text().count("\n")
+            assert buffered == 0  # still in the userspace buffer
+        finally:
+            tele.close()
+        assert path.read_text().count("\n") == 1  # close() flushes
 
     def test_telemetry_jsonl_stream(self, tmp_path):
         import json

@@ -7,6 +7,8 @@ content hash, while presentation-only fields (``tag``) do not.
 
 import dataclasses
 import json
+import threading
+import time
 
 import pytest
 
@@ -160,3 +162,155 @@ class TestResultStore:
         store.put(make_job(seed=8), self.result())
         assert store.clear() == 2
         assert len(store) == 0
+
+
+class TestHousekeeping:
+    """Shard/tmp cleanup and age-based pruning (the server's GC path)."""
+
+    def result(self, value: float = 0.39) -> JobResult:
+        return JobResult(kind="sweep", payload={"throughput": value})
+
+    def test_invalidate_removes_empty_shard_dir(self, tmp_path):
+        store = ResultStore(tmp_path)
+        job = make_job()
+        path = store.put(job, self.result())
+        shard = path.parent
+        assert store.invalidate(job) is True
+        assert not shard.exists()
+
+    def test_invalidate_keeps_shard_with_other_entries(self, tmp_path):
+        store = ResultStore(tmp_path)
+        job = make_job()
+        path = store.put(job, self.result())
+        # Plant a sibling entry in the same shard directory.
+        sibling = path.parent / ("f" * 64 + ".json")
+        sibling.write_text("{}")
+        store.invalidate(job)
+        assert path.parent.exists()
+
+    def test_clear_sweeps_orphaned_tmp_files_and_shards(self, tmp_path):
+        store = ResultStore(tmp_path)
+        path = store.put(make_job(), self.result())
+        orphan = path.parent / "writer-died.tmp"
+        orphan.write_text("partial")
+        assert store.clear() == 1
+        assert not orphan.exists()
+        assert not path.parent.exists()
+        assert list(tmp_path.glob("??")) == []
+
+    def test_prune_drops_only_entries_past_cutoff(self, tmp_path):
+        store = ResultStore(tmp_path)
+        old_job, new_job = make_job(), make_job(seed=99)
+        old_path = store.put(old_job, self.result())
+        store.put(new_job, self.result())
+        # Backdate the old entry's created stamp by a day.
+        entry = json.loads(old_path.read_text())
+        entry["created"] = time.time() - 86_400
+        old_path.write_text(json.dumps(entry))
+
+        assert store.prune(max_age_s=3600) == 1
+        assert store.get(old_job) is None
+        assert store.get(new_job) is not None
+        assert not old_path.parent.exists() or any(old_path.parent.iterdir())
+
+    def test_prune_uses_mtime_for_corrupt_entries(self, tmp_path):
+        store = ResultStore(tmp_path)
+        path = store.put(make_job(), self.result())
+        path.write_text("{ not json")
+        ancient = time.time() - 86_400
+        import os
+
+        os.utime(path, (ancient, ancient))
+        assert store.prune(max_age_s=3600) == 1
+
+    def test_prune_spares_fresh_tmp_files(self, tmp_path):
+        store = ResultStore(tmp_path)
+        path = store.put(make_job(), self.result())
+        fresh_tmp = path.parent / "inflight.tmp"
+        fresh_tmp.write_text("being written right now")
+        assert store.prune(max_age_s=3600) == 0
+        assert fresh_tmp.exists()  # younger than the cutoff: a live writer
+
+
+class TestConcurrency:
+    """Two writers to the same key plus readers mid-replace: the atomic
+    temp-file + rename protocol means a reader sees one complete entry
+    or a miss — never a torn file."""
+
+    def make_result(self, value: float) -> JobResult:
+        return JobResult(kind="sweep", payload={"throughput": value})
+
+    def test_concurrent_writers_and_readers_never_corrupt(self, tmp_path):
+        store = ResultStore(tmp_path)
+        job = make_job()
+        valid = {0.1, 0.2}
+        errors = []
+        stop = threading.Event()
+
+        def writer(value: float):
+            while not stop.is_set():
+                try:
+                    store.put(job, self.make_result(value))
+                except Exception as exc:  # pragma: no cover - failure path
+                    errors.append(f"writer: {exc!r}")
+                    return
+
+        def reader():
+            while not stop.is_set():
+                try:
+                    hit = store.get(job)
+                except Exception as exc:  # pragma: no cover - failure path
+                    errors.append(f"reader: {exc!r}")
+                    return
+                if hit is not None and hit.payload["throughput"] not in valid:
+                    errors.append(f"torn read: {hit.payload}")
+                    return
+
+        threads = [
+            threading.Thread(target=writer, args=(0.1,)),
+            threading.Thread(target=writer, args=(0.2,)),
+            threading.Thread(target=reader),
+            threading.Thread(target=reader),
+        ]
+        for t in threads:
+            t.start()
+        time.sleep(0.5)
+        stop.set()
+        for t in threads:
+            t.join(timeout=10)
+        assert errors == []
+        # The survivor is one of the two complete writes.
+        final = store.get(job)
+        assert final is not None
+        assert final.payload["throughput"] in valid
+        # No writer debris left behind.
+        assert list(tmp_path.glob("??/*.tmp")) == []
+
+    def test_put_survives_concurrent_shard_removal(self, tmp_path):
+        store = ResultStore(tmp_path)
+        job = make_job()
+        errors = []
+        stop = threading.Event()
+
+        def churn():
+            # invalidate() rmdirs the shard when it empties; put() must
+            # recreate it rather than crash on the race.
+            while not stop.is_set():
+                store.invalidate(job)
+
+        def write():
+            while not stop.is_set():
+                try:
+                    store.put(job, self.make_result(0.5))
+                except Exception as exc:  # pragma: no cover - failure path
+                    errors.append(repr(exc))
+                    return
+
+        threads = [threading.Thread(target=churn), threading.Thread(target=write)]
+        for t in threads:
+            t.start()
+        time.sleep(0.5)
+        stop.set()
+        for t in threads:
+            t.join(timeout=10)
+        assert errors == []

@@ -1,0 +1,200 @@
+"""Protocol-level tests: the hand-rolled HTTP reader/writer and router.
+
+These exercise the framing layer without a real socket — an
+``asyncio.StreamReader`` fed by hand is indistinguishable from one
+attached to a connection, which keeps the tests instant.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.serve.http import (
+    HttpResponse,
+    LengthRequired,
+    MAX_BODY_BYTES,
+    PayloadTooLarge,
+    ProtocolError,
+    StreamingResponse,
+    error_response,
+    json_response,
+    read_request,
+    write_response,
+    write_streaming,
+)
+from repro.serve.models import ValidationError, is_content_hash
+from repro.serve.router import MethodNotAllowed, NotFound, Router
+
+
+def parse(raw: bytes):
+    async def go():
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await read_request(reader)
+
+    return asyncio.run(go())
+
+
+class _SinkWriter:
+    """Just enough of StreamWriter to capture what was sent."""
+
+    def __init__(self):
+        self.chunks = []
+
+    def write(self, data: bytes) -> None:
+        self.chunks.append(data)
+
+    async def drain(self) -> None:
+        pass
+
+    @property
+    def data(self) -> bytes:
+        return b"".join(self.chunks)
+
+
+class TestReadRequest:
+    def test_parses_get_with_query(self):
+        req = parse(b"GET /v1/jobs?limit=5&full=1 HTTP/1.1\r\nHost: x\r\n\r\n")
+        assert req.method == "GET"
+        assert req.path == "/v1/jobs"
+        assert req.query == {"limit": "5", "full": "1"}
+        assert req.headers["host"] == "x"
+        assert req.keep_alive is True
+
+    def test_parses_post_body_by_content_length(self):
+        body = json.dumps({"kind": "probe"}).encode()
+        req = parse(
+            b"POST /v1/jobs HTTP/1.1\r\n"
+            + f"Content-Length: {len(body)}\r\n\r\n".encode()
+            + body
+        )
+        assert req.json() == {"kind": "probe"}
+
+    def test_percent_decoded_path(self):
+        req = parse(b"GET /v1/jobs/r%2D000001 HTTP/1.1\r\n\r\n")
+        assert req.path == "/v1/jobs/r-000001"
+
+    def test_clean_eof_returns_none(self):
+        assert parse(b"") is None
+
+    def test_truncated_head_is_protocol_error(self):
+        with pytest.raises(ProtocolError):
+            parse(b"GET /v1/sta")
+
+    def test_malformed_request_line(self):
+        with pytest.raises(ProtocolError):
+            parse(b"NONSENSE\r\n\r\n")
+
+    def test_post_without_length_is_411(self):
+        with pytest.raises(LengthRequired):
+            parse(b"POST /v1/jobs HTTP/1.1\r\n\r\n")
+
+    def test_oversized_body_is_413(self):
+        with pytest.raises(PayloadTooLarge):
+            parse(
+                b"POST /v1/jobs HTTP/1.1\r\nContent-Length: "
+                + str(MAX_BODY_BYTES + 1).encode()
+                + b"\r\n\r\n"
+            )
+
+    def test_chunked_request_rejected(self):
+        with pytest.raises(ProtocolError):
+            parse(b"POST /v1/jobs HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n")
+
+    def test_bad_json_body_is_validation_error(self):
+        req = parse(b"POST /x HTTP/1.1\r\nContent-Length: 4\r\n\r\n{ups")
+        with pytest.raises(ValidationError):
+            req.json()
+
+    def test_connection_close_disables_keep_alive(self):
+        req = parse(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+        assert req.keep_alive is False
+
+
+class TestWriteResponse:
+    def test_json_response_framing(self):
+        writer = _SinkWriter()
+        asyncio.run(write_response(writer, json_response({"a": 1}), keep_alive=True))
+        head, _, body = writer.data.partition(b"\r\n\r\n")
+        assert head.startswith(b"HTTP/1.1 200 OK")
+        assert b"Content-Length: " in head
+        assert b"Connection: keep-alive" in head
+        assert json.loads(body) == {"a": 1}
+
+    def test_error_response_carries_status(self):
+        resp = error_response(429, "slow down")
+        assert resp.status == 429
+        assert json.loads(resp.body)["error"] == "slow down"
+
+    def test_extra_headers_emitted(self):
+        writer = _SinkWriter()
+        resp = HttpResponse(status=405, headers={"Allow": "GET, POST"})
+        asyncio.run(write_response(writer, resp, keep_alive=False))
+        assert b"Allow: GET, POST" in writer.data
+        assert b"Connection: close" in writer.data
+
+    def test_streaming_is_chunked_ndjson(self):
+        async def lines():
+            yield json.dumps({"type": "a"})
+            yield json.dumps({"type": "b"})
+
+        writer = _SinkWriter()
+        asyncio.run(write_streaming(writer, StreamingResponse(lines())))
+        data = writer.data
+        assert b"Transfer-Encoding: chunked" in data
+        assert b"Connection: close" in data
+        assert data.endswith(b"0\r\n\r\n")
+        # Each NDJSON line is its own chunk, newline-terminated.
+        body = data.partition(b"\r\n\r\n")[2]
+        chunks = body.split(b"\r\n")
+        payload = b"".join(chunks[1::2][:-1])  # sizes at even offsets
+        events = [json.loads(l) for l in payload.decode().strip().split("\n")]
+        assert [e["type"] for e in events] == ["a", "b"]
+
+
+class TestRouter:
+    def setup_method(self):
+        self.router = Router()
+        self.router.add("GET", "/v1/jobs/{id}", lambda: "get-job")
+        self.router.add("GET", "/v1/jobs/{id}/events", lambda: "events")
+        self.router.add("POST", "/v1/jobs", lambda: "submit")
+
+    def test_static_and_param_match(self):
+        handler, params = self.router.match("GET", "/v1/jobs/r-000001")
+        assert handler() == "get-job"
+        assert params == {"id": "r-000001"}
+        handler, params = self.router.match("GET", "/v1/jobs/r-1/events")
+        assert handler() == "events"
+
+    def test_param_does_not_span_segments(self):
+        with pytest.raises(NotFound):
+            self.router.match("GET", "/v1/jobs/a/b/c")
+
+    def test_unknown_path_is_404(self):
+        with pytest.raises(NotFound):
+            self.router.match("GET", "/v2/jobs")
+
+    def test_wrong_method_is_405_with_allow(self):
+        with pytest.raises(MethodNotAllowed) as exc:
+            self.router.match("DELETE", "/v1/jobs/r-1")
+        assert exc.value.allowed == ["GET"]
+        assert exc.value.status == 405
+
+    def test_method_match_is_case_insensitive(self):
+        handler, _ = self.router.match("post", "/v1/jobs")
+        assert handler() == "submit"
+
+
+class TestContentHash:
+    def test_accepts_sha256_hex(self):
+        assert is_content_hash("0" * 64)
+        assert is_content_hash("deadbeef" * 8)
+
+    def test_rejects_everything_else(self):
+        assert not is_content_hash("xyz")
+        assert not is_content_hash("0" * 63)
+        assert not is_content_hash("G" * 64)
