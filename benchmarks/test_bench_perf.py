@@ -7,6 +7,12 @@ routing-layer microbenchmark that times ``UGALRouting.route`` itself
 against live congestion state on a warmed network -- the purest view of
 the cached-vs-uncached difference, undiluted by event-queue costs.
 
+A second axis compares the two simulator backends (``SimConfig.backend
+= "object" | "batched"``) on identical work: per-backend wall-clock and
+throughput plus ``batched_speedup`` (wall-clock ratio; event *counts*
+differ across backends by design, the batched engine elides bookkeeping
+events, so events/sec is per-backend color, not a comparison).
+
 Results go to ``benchmarks/out/perf_summary.json`` so future PRs have a
 perf trajectory to regress against.  Wall-clock is taken as the best of
 ``REPS`` interleaved repetitions: the minimum is robust against CPU
@@ -37,6 +43,17 @@ SEED = 0
 REPS = 3
 MICRO_ROUTES = 20_000
 REGRESSION_FLOOR = 0.7  # fail below 70% of the committed baseline
+
+#: Wall-clock floor for the batched backend relative to the object
+#: engine on the same work.  Measured reality (CPython, 2026-08): the
+#: batched engine runs ~1.15x (MIN) to ~1.35x (UGAL, larger scales)
+#: faster -- the struct-of-arrays layout pays for row-table congestion
+#: lookups and the calendar queue beats heappop, but per-event dispatch
+#: is still Python bytecode either way (see docs/PERFORMANCE.md for the
+#: compiled-kernel direction).  The gate is a *regression* guard at the
+#: noise floor of shared runners, not the aspiration: batched must
+#: never fall meaningfully behind the reference engine.
+BATCHED_SPEEDUP_FLOOR = 0.8
 
 
 def _force_mode(routing, compiled: bool):
@@ -96,6 +113,61 @@ def _bench_sim(cfg, kind: str):
     out["events"] = events
     out["speedup"] = round(
         out["cached"]["packets_per_sec"] / out["uncached"]["packets_per_sec"], 3
+    )
+    return out
+
+
+def _sim_once_backend(cfg, kind: str, backend: str):
+    topo = cfg.topology()
+    builder = {"min": cfg.minimal, "inr": cfg.indirect, "ugal": cfg.adaptive}[kind]
+    net = Network(topo, builder(topo), SimConfig(backend=backend))
+    t0 = time.perf_counter()
+    stats = net.run_synthetic(
+        UniformRandom(topo.num_nodes),
+        load=LOAD,
+        warmup_ns=WARMUP_NS,
+        measure_ns=MEASURE_NS,
+        seed=SEED,
+    )
+    wall = time.perf_counter() - t0
+    return wall, stats.ejected_packets, net.engine.events_executed
+
+
+def _bench_backends(cfg, kind: str):
+    """Interleaved best-of-REPS, object vs. batched backend.
+
+    The two backends execute different *event counts* for the same
+    physics (the batched engine elides link-free/credit-return events),
+    so ``events_per_sec`` is reported per backend but is not comparable
+    across them; ``batched_speedup`` is the wall-clock ratio on
+    identical delivered work.
+    """
+    walls = {"object": [], "batched": []}
+    packets = None
+    events = {}
+    for _ in range(REPS):
+        for backend in ("object", "batched"):
+            wall, pkts, evs = _sim_once_backend(cfg, kind, backend)
+            walls[backend].append(wall)
+            events[backend] = evs
+            # Conformance contract: identical physics on both backends.
+            if packets is None:
+                packets = pkts
+            assert pkts == packets, (
+                f"{cfg.key}/{kind}: backends diverged on delivered "
+                f"packets ({backend}: {pkts} != {packets})"
+            )
+    out = {"packets": packets}
+    for backend in ("object", "batched"):
+        wall = min(walls[backend])
+        out[backend] = {
+            "wall_s": round(wall, 4),
+            "packets_per_sec": round(packets / wall, 1),
+            "events": events[backend],
+            "events_per_sec": round(events[backend] / wall, 1),
+        }
+    out["batched_speedup"] = round(
+        out["object"]["wall_s"] / out["batched"]["wall_s"], 3
     )
     return out
 
@@ -214,6 +286,21 @@ def _check_baseline(summary) -> list:
                     f"{topo_key}/{kind}: {got:.0f} pkts/s < "
                     f"{REGRESSION_FLOOR:.0%} of baseline {ref:.0f}"
                 )
+    for topo_key, per_routing in baseline.get("backends", {}).items():
+        for kind, entry in per_routing.items():
+            ref = entry.get("batched", {}).get("packets_per_sec")
+            got = (
+                summary.get("backends", {})
+                .get(topo_key, {})
+                .get(kind, {})
+                .get("batched", {})
+                .get("packets_per_sec")
+            )
+            if ref and got and got < REGRESSION_FLOOR * ref:
+                failures.append(
+                    f"backends {topo_key}/{kind}: batched {got:.0f} pkts/s "
+                    f"< {REGRESSION_FLOOR:.0%} of baseline {ref:.0f}"
+                )
     micro_ref = baseline.get("ugal_sf_routing_microbench", {}).get(
         "cached_routes_per_sec"
     )
@@ -240,6 +327,10 @@ def test_bench_perf(scale, report_dir):
         summary["end_to_end"][topo_key] = {
             kind: _bench_sim(cfg, kind) for kind in ("min", "inr", "ugal")
         }
+    summary["backends"] = {
+        topo_key: {kind: _bench_backends(cfg, kind) for kind in ("min", "ugal")}
+        for topo_key, cfg in configs.items()
+    }
     summary["ugal_sf_routing_microbench"] = _bench_routing_micro(configs["sf"])
     summary["checker_overhead"] = _bench_checker_overhead(configs["sf"])
 
@@ -258,6 +349,14 @@ def test_bench_perf(scale, report_dir):
     for topo_key, per_routing in summary["end_to_end"].items():
         for kind, entry in per_routing.items():
             assert entry["speedup"] > REGRESSION_FLOOR, (topo_key, kind, entry)
+
+    # The batched backend must stay at least at parity with the object
+    # engine (floor sits below 1.0 only to absorb shared-runner noise).
+    for topo_key, per_routing in summary["backends"].items():
+        for kind, entry in per_routing.items():
+            assert entry["batched_speedup"] > BATCHED_SPEEDUP_FLOOR, (
+                topo_key, kind, entry
+            )
 
     # The invariant checker advertises "about 2x"; gate it at < 3x so a
     # hook that quietly lands on the hot path is caught here.

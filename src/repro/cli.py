@@ -209,10 +209,15 @@ def _maybe_profile(enabled: bool, top: int = 20):
 
 
 def _sim_config(args):
-    """The run's SimConfig: the paper's, plus --check when requested."""
+    """The run's SimConfig: the paper's, plus --check/--backend when
+    requested."""
     from repro.sim import PAPER_CONFIG, SimConfig
 
-    return SimConfig(check=True) if getattr(args, "check", False) else PAPER_CONFIG
+    check = getattr(args, "check", False)
+    backend = getattr(args, "backend", "object")
+    if not check and backend == "object":
+        return PAPER_CONFIG
+    return SimConfig(check=check, backend=backend)
 
 
 def _print_check_summary(net) -> None:
@@ -653,6 +658,15 @@ def build_parser() -> argparse.ArgumentParser:
                             "legality, latency floors and progress on every "
                             "transition; ~2x slower, identical results")
 
+    def add_backend_arg(p):
+        p.add_argument("--backend", default="object",
+                       choices=["object", "batched"],
+                       help="simulator backend: 'object' is the reference "
+                            "event-per-callback engine, 'batched' dispatches "
+                            "typed events over struct-of-arrays state "
+                            "(bit-identical results, conformance-gated; "
+                            "see docs/PERFORMANCE.md)")
+
     def add_orchestration_args(p):
         g = p.add_argument_group("orchestration (repro.orchestrate)")
         g.add_argument("--jobs", type=int, default=1, metavar="N",
@@ -682,6 +696,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="wrap the run in cProfile and print the top hot "
                         "functions to stderr")
     add_check_arg(p)
+    add_backend_arg(p)
     p.set_defaults(func=_cmd_simulate)
 
     p = sub.add_parser("sweep", help="offered-load sweep")
@@ -707,6 +722,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--summary-json", default=None, metavar="FILE",
                    help="write the campaign summary (wall-clock, cache hits, ev/s) as JSON")
     add_check_arg(p)
+    add_backend_arg(p)
     add_orchestration_args(p)
     p.set_defaults(func=_cmd_campaign)
 
@@ -734,6 +750,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "hot functions to stderr (ignored with --jobs > 1: "
                         "the work executes in worker processes)")
     add_check_arg(p)
+    add_backend_arg(p)
     add_orchestration_args(p)
     p.set_defaults(func=_cmd_workload)
 

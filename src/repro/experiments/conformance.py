@@ -67,7 +67,9 @@ CASE_KEYS: List[str] = [
 ]
 
 
-def _build(case_key: str, check: bool, compiled: bool) -> Network:
+def _build(
+    case_key: str, check: bool, compiled: bool, backend: str = "object"
+) -> Network:
     topo_key, _, kind = case_key.partition("/")
     by_key = {cfg.key: cfg for cfg in configs_for_scale(SCALE)}
     if topo_key not in by_key or kind not in _ROUTING_KINDS:
@@ -82,17 +84,22 @@ def _build(case_key: str, check: bool, compiled: bool) -> Network:
     for sub in ("_minimal", "_indirect"):
         if hasattr(routing, sub):
             getattr(routing, sub).compiled = compiled
-    return Network(topo, routing, SimConfig(check=check))
+    return Network(topo, routing, SimConfig(check=check, backend=backend))
 
 
-def run_case(case_key: str, check: bool = False, compiled: bool = True) -> Dict:
+def run_case(
+    case_key: str,
+    check: bool = False,
+    compiled: bool = True,
+    backend: str = "object",
+) -> Dict:
     """Compute one case's fingerprint (picklable: runs in pool workers).
 
     Returns ``{"stats": {... WindowStats fields ...}, "digest": hex,
     "delivered": total}``.  Floats pass through ``json`` unchanged
     (round-trip exact), so fingerprints compare with ``==``.
     """
-    net = _build(case_key, check, compiled)
+    net = _build(case_key, check, compiled, backend)
     digest = hashlib.sha256()
 
     def record(pkt) -> None:
@@ -118,11 +125,14 @@ def run_case(case_key: str, check: bool = False, compiled: bool = True) -> Dict:
 
 
 def compute_fingerprints(
-    case_keys=None, check: bool = False, compiled: bool = True
+    case_keys=None,
+    check: bool = False,
+    compiled: bool = True,
+    backend: str = "object",
 ) -> Dict[str, Dict]:
     """Fingerprints for *case_keys* (default: all), serially."""
     return {
-        key: run_case(key, check=check, compiled=compiled)
+        key: run_case(key, check=check, compiled=compiled, backend=backend)
         for key in (CASE_KEYS if case_keys is None else case_keys)
     }
 
@@ -187,17 +197,28 @@ def main(argv=None) -> int:
                         help="recompute and overwrite the golden file")
     parser.add_argument("--path", default=GOLDEN_PATH,
                         help="golden JSON location (default: %(default)s)")
+    parser.add_argument("--backend", choices=("object", "batched"),
+                        default="object",
+                        help="simulator backend to verify against the "
+                             "goldens (default: %(default)s); the goldens "
+                             "themselves are always written from the "
+                             "object reference")
     args = parser.parse_args(argv)
     if args.write:
         cases = write_golden(args.path)
         print(f"wrote {len(cases)} fingerprints to {args.path}")
         return 0
-    problems = diff_fingerprints(load_golden(args.path), compute_fingerprints())
+    problems = diff_fingerprints(
+        load_golden(args.path), compute_fingerprints(backend=args.backend)
+    )
     if problems:
         for problem in problems:
             print(f"MISMATCH {problem}")
         return 1
-    print(f"all {len(CASE_KEYS)} conformance cases match {args.path}")
+    print(
+        f"all {len(CASE_KEYS)} conformance cases match {args.path} "
+        f"(backend={args.backend})"
+    )
     return 0
 
 

@@ -46,7 +46,11 @@ __all__ = ["Job", "JobResult", "run_job", "CACHE_VERSION", "sim_config_dict"]
 #: v2: SimConfig grew ``check`` (the invariant checker), so the config
 #: dict -- and with it every content hash -- changed shape; checked and
 #: unchecked runs cache separately (a cached hit would skip verification).
-CACHE_VERSION = 2
+#: v3: SimConfig grew ``backend`` (object vs. batched engine).  Results
+#: are bit-identical across backends by contract, but the config dict
+#: changed shape, and per-backend caching keeps a conformance regression
+#: from hiding behind a stale cross-backend cache hit.
+CACHE_VERSION = 3
 
 
 def sim_config_dict(config: SimConfig) -> Dict[str, Any]:

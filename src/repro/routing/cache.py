@@ -171,6 +171,30 @@ class RouteCache:
             self._self[router] = cached
         return cached
 
+    # -- array exports -------------------------------------------------------
+
+    def port_row_table(self) -> List[List[int]]:
+        """Dense directed-channel port table: ``table[u][v]`` is router
+        *u*'s output-port index toward neighbor *v*, ``-1`` where no
+        channel exists.
+
+        This is the array-friendly dual of ``Topology.port``'s hash
+        lookup: flat-state backends (:mod:`repro.sim.vec.state`) index
+        it with plain integers to translate compiled route hops and
+        UGAL's ``queue_len(router, neighbor)`` congestion probes into
+        global port ids without per-lookup hashing.  Derived purely
+        from the topology, so one export is valid for every routing
+        sharing this cache.
+        """
+        topo = self.topology
+        n = topo.num_routers
+        table = [[-1] * n for _ in range(n)]
+        for u in range(n):
+            row = table[u]
+            for out_idx, v in enumerate(topo.neighbors(u)):
+                row[v] = out_idx
+        return table
+
     # -- introspection -------------------------------------------------------
 
     def stats(self) -> Dict[str, int]:

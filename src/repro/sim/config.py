@@ -32,8 +32,20 @@ class SimConfig:
     #: progress on every transition.  Off by default -- checking costs
     #: roughly 2x simulation time and does not change the physics.
     check: bool = False
+    #: Simulator backend.  ``"object"`` is the reference implementation
+    #: (one Python object per router/NIC/port, one callback per event);
+    #: ``"batched"`` runs the same physics over struct-of-arrays state
+    #: with a flat typed-event loop that elides the per-event callback
+    #: machinery (repro.sim.vec).  Both backends are bit-identical --
+    #: the golden conformance suite (tests/golden/conformance.json) is
+    #: the gate -- so the choice is purely a speed/memory trade-off.
+    backend: str = "object"
 
     def __post_init__(self) -> None:
+        if self.backend not in ("object", "batched"):
+            raise ValueError(
+                f"unknown backend {self.backend!r} (expected 'object' or 'batched')"
+            )
         if self.link_bandwidth_gbps <= 0:
             raise ValueError("link_bandwidth_gbps must be positive")
         if self.packet_bytes <= 0:

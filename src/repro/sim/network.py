@@ -17,6 +17,7 @@ import random
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.routing.base import RoutingAlgorithm
+from repro.sim.clock import SimClock
 from repro.sim.config import PAPER_CONFIG, SimConfig
 from repro.sim.engine import Engine
 from repro.sim.nic import NIC
@@ -50,7 +51,7 @@ class Network:
         # compiled routes carry their hop ports and never touch it.
         self._route_port_cache: Dict[Tuple[int, ...], Tuple[int, ...]] = {}
         self.tracer = None  # optional PacketTracer (see enable_trace)
-        self._utilization_window: Optional[float] = None
+        self._vec = None  # BatchedEngine when config.backend == "batched"
         self._msg_track: Optional[Dict] = None  # per-message tracking (exchanges)
         self._delivery_listeners: list = []  # see add_delivery_listener
         self._experiment_ran = False  # one experiment per Network instance
@@ -60,7 +61,10 @@ class Network:
         # With checking enabled, routers and NICs are built as Checked*
         # subclasses that notify the invariant checker around every
         # transition; the unchecked hot path pays nothing for this.
-        if config.check:
+        # The batched backend has no per-transition callbacks to hook,
+        # so its checker (repro.sim.vec.check) audits state instead and
+        # the plain classes suffice as the wiring template.
+        if config.check and config.backend == "object":
             from repro.sim.invariants import CheckedNIC, CheckedRouter
 
             router_cls, nic_cls = CheckedRouter, CheckedNIC
@@ -127,11 +131,46 @@ class Network:
             self.nics.append(nic)
             self._eject_ports.append(deg + local)
 
-        if config.check:
+        if config.check and config.backend == "object":
             from repro.sim.invariants import InvariantChecker
 
             self.checker = InvariantChecker(self)
             self.checker.attach()
+
+        if config.backend == "batched":
+            # Swap in the struct-of-arrays engine.  The object routers
+            # and NICs built above stay the wiring's single source of
+            # truth (the SoA state is flattened *from* them), but all
+            # event execution moves to the batched loop: the NIC list
+            # becomes driver-facing shims over the arrays and UGAL-L's
+            # congestion signal reads the flat per-port counters
+            # (instance attribute shadows the class method).
+            from repro.sim.vec import BatchedEngine
+            from repro.sim.vec.state import make_queue_len
+
+            self._vec = BatchedEngine(self)
+            self.engine = self._vec
+            self.nics = self._vec.nic_shims
+            self.queue_len = make_queue_len(self._vec.st)
+            if config.check:
+                from repro.sim.vec.check import BatchedChecker
+
+                self.checker = BatchedChecker(self)
+                self.checker.attach()
+
+        #: Backend-neutral time source; stats code reads ``clock.now``
+        #: and the utilization window rather than engine internals.
+        self.clock = SimClock(self.engine)
+
+    @property
+    def _utilization_window(self) -> Optional[float]:
+        """Measurement window behind ``channel_utilization`` -- kept as
+        a compatibility alias; the value lives on :class:`SimClock`."""
+        return self.clock.utilization_window
+
+    @_utilization_window.setter
+    def _utilization_window(self, value: Optional[float]) -> None:
+        self.clock.utilization_window = value
 
     # -- CongestionContext (UGAL-L's local signal) -----------------------------
 
@@ -198,6 +237,9 @@ class Network:
 
     def reset_utilization(self) -> None:
         """Zero the per-port transmission counters (called at warm-up end)."""
+        if self._vec is not None:
+            self._vec.st.reset_sent()
+            return
         for router in self.routers:
             for out in router.out:
                 out.sent_packets = 0
@@ -211,9 +253,13 @@ class Network:
         ``sent_packets * serialization``.  ``window_ns`` defaults to the
         last synthetic run's measurement window.
         """
-        window = window_ns if window_ns is not None else self._utilization_window
+        window = window_ns if window_ns is not None else self.clock.utilization_window
         if window is None or window <= 0:
             raise ValueError("channel_utilization: no measurement window available")
+        if self._vec is not None:
+            # Cold path: surface the flat counters through the object
+            # ports so one loop below serves both backends.
+            self._vec.st.sync_ports()
         ser = self.config.packet_time_ns
         out_map: Dict = {}
         topo = self.topology
@@ -247,7 +293,7 @@ class Network:
 
     def deliver(self, pkt: Packet) -> None:
         """Final hop: the packet reaches its destination node."""
-        pkt.eject_time = self.engine.now
+        pkt.eject_time = self.clock.now
         self.stats.record_eject(pkt)
         if self.tracer is not None:
             self.tracer.record(pkt)
@@ -296,18 +342,26 @@ class Network:
         mean_ia = cfg.packet_time_ns / load
         self.stats.set_window(warmup_ns, horizon)
 
-        master = random.Random(seed)
-        for node in range(self.topology.num_nodes):
-            rng = random.Random(master.getrandbits(64))
-            phase = rng.uniform(0.0, mean_ia)
-            self.engine.schedule_at(
-                phase, self._generate, node, pattern, mean_ia, horizon, rng, arrival
+        if self._vec is not None:
+            # Batched backend: pregenerate every node's injection
+            # stream in one pass (identical per-node RNG draws; see
+            # BatchedEngine.setup_synthetic for the exactness argument).
+            self._vec.setup_synthetic(
+                pattern, mean_ia, horizon, seed, arrival, cfg.packet_bytes
             )
+        else:
+            master = random.Random(seed)
+            for node in range(self.topology.num_nodes):
+                rng = random.Random(master.getrandbits(64))
+                phase = rng.uniform(0.0, mean_ia)
+                self.engine.schedule_at(
+                    phase, self._generate, node, pattern, mean_ia, horizon, rng, arrival
+                )
         # Utilization counters measure the post-warm-up window only.
         self.engine.schedule_at(warmup_ns, self.reset_utilization)
 
         self.engine.run(until=horizon)
-        self._utilization_window = measure_ns
+        self.clock.utilization_window = measure_ns
         if drain:
             self.engine.run()
         if self.checker is not None:
@@ -415,7 +469,7 @@ class Network:
         # channel_utilization() works without an explicit window --
         # previously it raised after run_exchange/run_workload.
         if completion > 0:
-            self._utilization_window = completion
+            self.clock.utilization_window = completion
         result: Dict[str, object] = {
             "completion_ns": completion,
             "effective_throughput": self.stats.effective_throughput(total_bytes),

@@ -139,7 +139,7 @@ class WorkloadDriver:
         # Finite runs measure utilization over the whole schedule, so
         # net.channel_utilization() works without an explicit window.
         if completion > 0:
-            net._utilization_window = completion
+            net.clock.utilization_window = completion
         cp = self.workload.critical_path()
         ideal = cp.ideal_ns(net.config)
         total_bytes = self.workload.total_bytes

@@ -3,8 +3,9 @@
 The committed fingerprints pin the simulator's end-to-end behaviour --
 full WindowStats plus a digest over the ordered delivery stream -- for
 every tiny-scale topology x routing combination.  Serial, process-pool,
-legacy-routing and checker-enabled runs must all reproduce them
-bit-identically; an intended behaviour change regenerates the goldens
+legacy-routing, checker-enabled and batched-backend runs must all
+reproduce them bit-identically; an intended behaviour change
+regenerates the goldens
 (``python -m repro.experiments.conformance --write``) so the diff is
 reviewed with the change that caused it.
 """
@@ -51,6 +52,28 @@ def test_checker_preserves_physics(golden, case_key):
     # violation, and the checked run's observable behaviour (stats and
     # delivery stream) is identical to the unchecked golden.
     got = conformance.run_case(case_key, check=True)
+    problems = conformance.diff_fingerprints({case_key: golden[case_key]},
+                                             {case_key: got})
+    assert not problems, "\n".join(problems)
+
+
+@pytest.mark.parametrize("case_key", conformance.CASE_KEYS)
+def test_batched_backend_matches_golden(golden, case_key):
+    # The tentpole contract of the batched backend: every committed
+    # fingerprint -- WindowStats and the ordered delivery stream, which
+    # encodes RNG draw order and every arbitration decision -- is
+    # reproduced bit-identically by the struct-of-arrays engine.
+    got = conformance.run_case(case_key, backend="batched")
+    problems = conformance.diff_fingerprints({case_key: golden[case_key]},
+                                             {case_key: got})
+    assert not problems, "\n".join(problems)
+
+
+@pytest.mark.parametrize("case_key", SPOT_CASES)
+def test_checked_batched_matches_golden(golden, case_key):
+    # The audit-based BatchedChecker must not perturb event order:
+    # checked batched runs reproduce the goldens too.
+    got = conformance.run_case(case_key, check=True, backend="batched")
     problems = conformance.diff_fingerprints({case_key: golden[case_key]},
                                              {case_key: got})
     assert not problems, "\n".join(problems)

@@ -77,6 +77,7 @@ class TestContentHash:
             "buffer_bytes_per_port": 50_000,
             "packet_bytes": 512,
             "check": True,
+            "backend": "batched",
         }
         for field in dataclasses.fields(defaults):
             config = sim_config_dict(defaults)

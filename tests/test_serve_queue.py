@@ -67,6 +67,21 @@ class TestValidation:
             job_from_request({"kind": "sweep"})
         job_from_request({"kind": "probe"})  # probes don't need one
 
+    def test_jobs_carry_simulator_backend(self):
+        # The config dict flows verbatim into SimConfig, so served jobs
+        # can select the batched backend -- and two jobs differing only
+        # in backend must neither coalesce nor share a cache entry
+        # (per-backend caching keeps conformance regressions visible).
+        body = {"kind": "sweep", "topology": "sf:q=5",
+                "config": {"backend": "batched"}}
+        job = job_from_request(body)
+        assert job.sim_config().backend == "batched"
+        other = job_from_request(
+            {"kind": "sweep", "topology": "sf:q=5",
+             "config": {"backend": "object"}}
+        )
+        assert job.content_hash() != other.content_hash()
+
     def test_tenant_header(self):
         assert tenant_from_headers({}) == "public"
         assert tenant_from_headers({"x-tenant": "team-a"}) == "team-a"
