@@ -26,6 +26,7 @@ the run when cached packets/sec drops below 70% of the baseline.
 
 from __future__ import annotations
 
+import gc
 import json
 import os
 import random
@@ -263,6 +264,78 @@ def _bench_routing_micro(cfg):
     }
 
 
+def _bench_fault_overhead(cfg):
+    """No-fault cost of the fault-aware candidate-set machinery.
+
+    Fault awareness added exactly one branch to every row fill
+    (``if self._failed:``); all other bookkeeping was deliberately
+    moved to fault time (``fail_link`` scans the filled rows).  This
+    microbenchmark times the row-lookup idiom the routing algorithms
+    use -- row hit or lazy ``minimal_fill`` -- over a fresh cache,
+    against a replica of the pre-fault fill path (ensure row, compile
+    candidates, store) with no fault branch at all.  Fault-free
+    simulations must pay (almost) nothing for the machinery; the
+    acceptance gate is <= 5% overhead.
+    """
+    from repro.routing.cache import RouteCache
+
+    topo = cfg.topology()
+    vc_policy = cfg.adaptive(topo).cache.vc_policy
+    pair_rng = random.Random(321)
+    n = topo.num_routers
+    pairs = []
+    while len(pairs) < MICRO_ROUTES:
+        s, d = pair_rng.randrange(n), pair_rng.randrange(n)
+        if s != d:
+            pairs.append((s, d))
+
+    def plain_fill(cache, src, dst):
+        # The fill path as it was before fault awareness existed.
+        row = cache.ensure_minimal_row(src)
+        cands = cache.minimal_candidates(src, dst)
+        row[dst] = cands
+        return cands
+
+    def timed_region(fault_aware: bool) -> float:
+        # Several fresh-cache passes per timed region: the delta under
+        # test sits on the fill path, and single-pass regions (~15 ms)
+        # are inside shared-runner noise.  CPU time rather than wall
+        # clock (a ~1% ratio gate cannot absorb scheduler preemption on
+        # shared runners), with the GC parked so collection pauses from
+        # the fresh caches don't land on one side of the A/B.
+        gc.collect()
+        gc.disable()
+        t0 = time.process_time()
+        for _ in range(3):
+            cache = RouteCache(topo, vc_policy)
+            rows = cache.minimal_rows
+            if fault_aware:
+                fill = cache.minimal_fill
+            else:
+                fill = lambda s, d: plain_fill(cache, s, d)  # noqa: E731
+            for s, d in pairs:
+                row = rows[s]
+                if row is None or row[d] is None:
+                    fill(s, d)
+        elapsed = time.process_time() - t0
+        gc.enable()
+        return elapsed
+
+    # Interleave the two modes rep-by-rep so machine drift (CPU
+    # contention, thermal throttling) hits both sides alike, then
+    # compare best-of-reps against best-of-reps.
+    plain = aware = float("inf")
+    for _ in range(REPS + 4):
+        plain = min(plain, timed_region(False))
+        aware = min(aware, timed_region(True))
+    return {
+        "lookups": len(pairs),
+        "plain_cpu_s": round(plain, 4),
+        "fault_aware_cpu_s": round(aware, 4),
+        "overhead": round(aware / plain, 3),
+    }
+
+
 def _check_baseline(summary) -> list:
     """Compare cached throughputs against the committed baseline."""
     path = os.environ.get("REPRO_PERF_BASELINE")
@@ -333,6 +406,7 @@ def test_bench_perf(scale, report_dir):
     }
     summary["ugal_sf_routing_microbench"] = _bench_routing_micro(configs["sf"])
     summary["checker_overhead"] = _bench_checker_overhead(configs["sf"])
+    summary["fault_overhead"] = _bench_fault_overhead(configs["sf"])
 
     (report_dir / "perf_summary.json").write_text(
         json.dumps(summary, indent=2, sort_keys=True) + "\n"
@@ -361,6 +435,10 @@ def test_bench_perf(scale, report_dir):
     # The invariant checker advertises "about 2x"; gate it at < 3x so a
     # hook that quietly lands on the hot path is caught here.
     assert summary["checker_overhead"]["overhead"] < 3.0, summary["checker_overhead"]
+
+    # Fault-free runs must not pay for fault-awareness: the candidate-
+    # set bookkeeping is gated at <= 5% on the row fill/lookup path.
+    assert summary["fault_overhead"]["overhead"] <= 1.05, summary["fault_overhead"]
 
     failures = _check_baseline(summary)
     assert not failures, "; ".join(failures)

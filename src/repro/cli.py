@@ -209,15 +209,28 @@ def _maybe_profile(enabled: bool, top: int = 20):
 
 
 def _sim_config(args):
-    """The run's SimConfig: the paper's, plus --check/--backend when
-    requested."""
+    """The run's SimConfig: the paper's, plus --check/--backend/--faults
+    when requested."""
     from repro.sim import PAPER_CONFIG, SimConfig
 
     check = getattr(args, "check", False)
     backend = getattr(args, "backend", "object")
-    if not check and backend == "object":
+    faults = tuple(getattr(args, "faults", None) or ())
+    if not check and backend == "object" and not faults:
         return PAPER_CONFIG
-    return SimConfig(check=check, backend=backend)
+    return SimConfig(check=check, backend=backend, faults=faults,
+                     fault_policy=getattr(args, "fault_policy", "reroute"))
+
+
+def _print_fault_summary(net) -> None:
+    fm = net.fault_manager
+    s = fm.summary()
+    print(
+        f"faults: {s['events_fired']} events fired, "
+        f"{s['reroutes']} packets rerouted, {s['dropped']} dropped, "
+        f"{s['links_down']} links still down "
+        f"(first failure at {s['first_fault_ns']}ns)"
+    )
 
 
 def _print_check_summary(net) -> None:
@@ -247,6 +260,8 @@ def _cmd_simulate(args) -> int:
         f"throughput={stats.throughput:.3f} mean_latency={stats.mean_latency_ns:.1f}ns "
         f"p99={stats.p99_latency_ns:.1f}ns packets={stats.ejected_packets}"
     )
+    if net.fault_manager is not None:
+        _print_fault_summary(net)
     if net.checker is not None:
         _print_check_summary(net)
     if tracer is not None:
@@ -491,10 +506,49 @@ def _cmd_workload(args) -> int:
         rows,
         title=f"{topo.name} {args.collective} routing={args.routing} (closed loop)",
     ))
+    if getattr(args, "faults", None):
+        for size, res in zip(sizes, outcomes):
+            print(
+                f"faults[{size}B]: {res.get('fault_events', 0)} events fired, "
+                f"{res.get('fault_reroutes', 0)} packets rerouted, "
+                f"{res.get('fault_dropped', 0)} dropped, post-fault skew "
+                f"{res.get('post_fault_link_load_skew', 0.0):.3f}"
+            )
     if args.check:
         print("check: invariant checker enabled; all runs completed without violation")
     if orch is not None:
         _print_campaign_stats(orch.last_stats)
+    return 0
+
+
+def _cmd_resilience(args) -> int:
+    """Mid-collective degradation sweep (repro.experiments.resilience)."""
+    from repro.experiments.resilience import resilience_data
+
+    try:
+        data = resilience_data(
+            scale=args.scale,
+            seed=args.seed,
+            collective=args.collective,
+            message_bytes=args.msg_bytes,
+            drip_count=args.failures,
+            drip_every_ns=args.every,
+            drip_seed=args.fault_seed,
+            fault_policy=args.fault_policy,
+            backend=args.backend,
+            check=args.check,
+        )
+    except RuntimeError as exc:
+        # A dropped packet orphans its message's dependents, so the
+        # schedule cannot complete -- report instead of unwinding.
+        print(f"error: {exc}", file=sys.stderr)
+        if args.fault_policy == "drop":
+            print("note: fault-policy 'drop' is incompatible with "
+                  "closed-loop workload completion; use 'reroute'",
+                  file=sys.stderr)
+        return 1
+    print(data["report"])
+    print(f"fault schedule: {', '.join(data['fault_specs'])}")
     return 0
 
 
@@ -667,6 +721,23 @@ def build_parser() -> argparse.ArgumentParser:
                             "(bit-identical results, conformance-gated; "
                             "see docs/PERFORMANCE.md)")
 
+    def add_fault_args(p):
+        g = p.add_argument_group("fault injection (repro.resilience)")
+        g.add_argument("--faults", action="append", default=None,
+                       metavar="SPEC",
+                       help="fault-schedule entry (repeatable): "
+                            "'fail@T:U-V', 'recover@T:U-V', 'fail@T:rR' "
+                            "(all links of router R), or "
+                            "'drip@T:n=N,every=E[,seed=S]' for seeded "
+                            "random connectivity-preserving failures; "
+                            "requires compiled routing")
+        g.add_argument("--fault-policy", default="reroute",
+                       choices=["reroute", "drop"],
+                       help="packets queued toward a dead link are "
+                            "rerouted at their current router (default) "
+                            "or counted dropped; 'drop' breaks closed-"
+                            "loop workload completion")
+
     def add_orchestration_args(p):
         g = p.add_argument_group("orchestration (repro.orchestrate)")
         g.add_argument("--jobs", type=int, default=1, metavar="N",
@@ -697,6 +768,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "functions to stderr")
     add_check_arg(p)
     add_backend_arg(p)
+    add_fault_args(p)
     p.set_defaults(func=_cmd_simulate)
 
     p = sub.add_parser("sweep", help="offered-load sweep")
@@ -751,6 +823,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "the work executes in worker processes)")
     add_check_arg(p)
     add_backend_arg(p)
+    add_fault_args(p)
     add_orchestration_args(p)
     p.set_defaults(func=_cmd_workload)
 
@@ -761,6 +834,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--msg-bytes", type=int, default=512)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=_cmd_exchange)
+
+    p = sub.add_parser(
+        "resilience",
+        help="mid-collective degradation sweep under identical fault schedules",
+    )
+    p.add_argument("--scale", default="tiny", choices=["tiny", "small", "paper"])
+    p.add_argument("--collective", default="ring-allreduce",
+                   choices=["ring-allreduce", "rd-allreduce", "allgather",
+                            "halo3d", "phased-a2a"])
+    p.add_argument("--msg-bytes", type=int, default=None,
+                   help="message size in bytes (default: the scale's A2A size)")
+    p.add_argument("--failures", type=int, default=2, metavar="N",
+                   help="links to fail mid-run (default: %(default)s)")
+    p.add_argument("--every", type=float, default=100.0, metavar="NS",
+                   help="spacing between drip failures (default: %(default)s)")
+    p.add_argument("--fault-seed", type=int, default=1,
+                   help="drip link-selection seed (default: %(default)s)")
+    p.add_argument("--fault-policy", default="reroute",
+                   choices=["reroute", "drop"])
+    p.add_argument("--seed", type=int, default=0)
+    add_check_arg(p)
+    add_backend_arg(p)
+    p.set_defaults(func=_cmd_resilience)
 
     p = sub.add_parser("figure", help="regenerate a paper artefact")
     p.add_argument("figure", help="table2 | fig3 | ... | fig14 | diversity")

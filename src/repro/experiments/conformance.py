@@ -37,15 +37,27 @@ from repro.traffic import UniformRandom
 
 __all__ = [
     "GOLDEN_PATH",
+    "FAULT_GOLDEN_PATH",
     "CASE_KEYS",
+    "FAULT_CASE_KEY",
     "run_case",
+    "run_fault_case",
+    "fault_specs",
     "compute_fingerprints",
     "load_golden",
+    "load_fault_golden",
     "diff_fingerprints",
+    "diff_fault_fingerprint",
+    "write_fault_golden",
 ]
 
 #: Repo-relative location of the committed goldens.
 GOLDEN_PATH = "tests/golden/conformance.json"
+
+#: Committed golden for the deterministic fault-schedule run
+#: (repro.resilience): one case, verified across both backends and the
+#: checked/pool paths by tests/test_golden_conformance.py.
+FAULT_GOLDEN_PATH = "tests/golden/fault_conformance.json"
 
 #: Run parameters -- small enough that the full 12-case suite stays in
 #: test-suite budget, long enough that every pipeline stage (credit
@@ -124,6 +136,84 @@ def run_case(
     }
 
 
+#: The fault-conformance case: adaptive routing on the SF floor config,
+#: where candidate-set invalidation, minimal fallback and rerouting all
+#: get exercised.
+FAULT_CASE_KEY = "sf-floor/ugal"
+
+#: Fault times sit inside the measurement window (300..1500 ns) so the
+#: degraded interval is visible in the fingerprinted stats.
+_FAULT_FAIL_NS = 600.0
+_FAULT_RECOVER_NS = 1_100.0
+_FAULT_DRIP_NS = 750.0
+
+
+def fault_specs(topology) -> tuple:
+    """The deterministic fault schedule of the fault-conformance case.
+
+    Built from the topology so the failed link always exists: fail the
+    lowest-numbered link of router 0 mid-measurement, recover it later,
+    and drip two more connectivity-preserving failures in between.
+    """
+    v = min(topology.neighbors(0))
+    return (
+        f"fail@{_FAULT_FAIL_NS:g}:0-{v}",
+        f"recover@{_FAULT_RECOVER_NS:g}:0-{v}",
+        f"drip@{_FAULT_DRIP_NS:g}:n=2,every=100,seed=7",
+    )
+
+
+def run_fault_case(
+    check: bool = False,
+    backend: str = "object",
+    policy: str = "reroute",
+) -> Dict:
+    """Fingerprint of the deterministic fault-schedule run.
+
+    Same fingerprint shape as :func:`run_case` plus the fault manager's
+    summary, so reroute/drop counts are golden-pinned too.  Picklable
+    (runs in pool workers).
+    """
+    topo_key, _, kind = FAULT_CASE_KEY.partition("/")
+    cfg = {c.key: c for c in configs_for_scale(SCALE)}[topo_key]
+    topo = cfg.topology()
+    builder = {"min": cfg.minimal, "inr": cfg.indirect, "ugal": cfg.adaptive}[kind]
+    routing = builder(topo, seed=ROUTING_SEED)
+    net = Network(
+        topo,
+        routing,
+        SimConfig(
+            check=check,
+            backend=backend,
+            faults=fault_specs(topo),
+            fault_policy=policy,
+        ),
+    )
+    digest = hashlib.sha256()
+
+    def record(pkt) -> None:
+        digest.update(
+            f"{pkt.pid}:{pkt.src_node}:{pkt.dst_node}:{pkt.kind}:"
+            f"{pkt.eject_time!r};".encode()
+        )
+
+    net.add_delivery_listener(record)
+    stats = net.run_synthetic(
+        UniformRandom(net.topology.num_nodes),
+        load=LOAD,
+        warmup_ns=WARMUP_NS,
+        measure_ns=MEASURE_NS,
+        seed=TRAFFIC_SEED,
+        drain=True,
+    )
+    return {
+        "stats": {name: getattr(stats, name) for name in stats.__slots__},
+        "digest": digest.hexdigest(),
+        "delivered": net.stats.ejected_total,
+        "faults": net.fault_manager.summary(),
+    }
+
+
 def compute_fingerprints(
     case_keys=None,
     check: bool = False,
@@ -188,6 +278,55 @@ def write_golden(path: str = GOLDEN_PATH) -> Dict[str, Dict]:
     return cases
 
 
+def load_fault_golden(path: str = FAULT_GOLDEN_PATH) -> Dict:
+    """The committed fault-conformance fingerprint."""
+    with open(path) as fh:
+        return json.load(fh)["case"]
+
+
+def write_fault_golden(path: str = FAULT_GOLDEN_PATH) -> Dict:
+    """Recompute the fault fingerprint (object reference) and write it."""
+    case = run_fault_case()
+    payload = {
+        "meta": {
+            "case": FAULT_CASE_KEY,
+            "scale": SCALE,
+            "load": LOAD,
+            "warmup_ns": WARMUP_NS,
+            "measure_ns": MEASURE_NS,
+            "routing_seed": ROUTING_SEED,
+            "traffic_seed": TRAFFIC_SEED,
+            "fault_policy": "reroute",
+            "note": "regenerate with: python -m repro.experiments.conformance --write",
+        },
+        "case": case,
+    }
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return case
+
+
+def diff_fault_fingerprint(golden: Dict, computed: Dict) -> List[str]:
+    """Mismatches between two fault-case fingerprints (all fields)."""
+    problems = []
+    if golden["digest"] != computed["digest"]:
+        problems.append(
+            f"fault case: delivery-stream digest changed "
+            f"({golden['digest'][:12]} -> {computed['digest'][:12]}, "
+            f"delivered {golden['delivered']} -> {computed['delivered']})"
+        )
+    for field, ref in golden["stats"].items():
+        val = computed["stats"].get(field)
+        if val != ref:
+            problems.append(f"fault case: stats.{field} changed {ref!r} -> {val!r}")
+    for field, ref in golden["faults"].items():
+        val = computed["faults"].get(field)
+        if val != ref:
+            problems.append(f"fault case: faults.{field} changed {ref!r} -> {val!r}")
+    return problems
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments.conformance",
@@ -207,9 +346,15 @@ def main(argv=None) -> int:
     if args.write:
         cases = write_golden(args.path)
         print(f"wrote {len(cases)} fingerprints to {args.path}")
+        fault = write_fault_golden()
+        print(f"wrote fault fingerprint ({fault['delivered']} delivered, "
+              f"{fault['faults']['reroutes']} reroutes) to {FAULT_GOLDEN_PATH}")
         return 0
     problems = diff_fingerprints(
         load_golden(args.path), compute_fingerprints(backend=args.backend)
+    )
+    problems += diff_fault_fingerprint(
+        load_fault_golden(), run_fault_case(backend=args.backend)
     )
     if problems:
         for problem in problems:

@@ -50,12 +50,22 @@ __all__ = ["Job", "JobResult", "run_job", "CACHE_VERSION", "sim_config_dict"]
 #: are bit-identical across backends by contract, but the config dict
 #: changed shape, and per-backend caching keeps a conformance regression
 #: from hiding behind a stale cross-backend cache hit.
-CACHE_VERSION = 3
+#: v4: SimConfig grew ``faults``/``fault_policy`` (repro.resilience).
+#: Fault-bearing and fault-free runs of the same point measure different
+#: networks, so they must hash -- and cache -- separately.
+CACHE_VERSION = 4
 
 
 def sim_config_dict(config: SimConfig) -> Dict[str, Any]:
-    """A SimConfig as a plain, hashable-by-content dictionary."""
-    return dataclasses.asdict(config)
+    """A SimConfig as a plain, hashable-by-content dictionary.
+
+    JSON-canonical: the ``faults`` tuple becomes a list, so a spec
+    survives a JSON round-trip unchanged (``SimConfig.__post_init__``
+    re-normalizes on reconstruction).
+    """
+    d = dataclasses.asdict(config)
+    d["faults"] = list(d["faults"])
+    return d
 
 
 @dataclass

@@ -67,13 +67,16 @@ class ResultStore:
             "result": result.to_dict(),
         }
         # A concurrent invalidate()/prune() may rmdir the shard between
-        # our mkdir and mkstemp; recreate and retry once.
-        for _ in range(2):
-            path.parent.mkdir(parents=True, exist_ok=True)
+        # our mkdir and mkstemp (FileNotFoundError), or between
+        # Path.mkdir's internal os.mkdir collision and its is_dir()
+        # re-check (surfacing as FileExistsError despite exist_ok=True);
+        # recreate and retry either way.
+        for _ in range(20):
             try:
+                path.parent.mkdir(parents=True, exist_ok=True)
                 fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
                 break
-            except FileNotFoundError:
+            except (FileNotFoundError, FileExistsError):
                 continue
         else:
             raise OSError(f"cannot create temp file in {path.parent}")

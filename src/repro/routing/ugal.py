@@ -43,7 +43,7 @@ from repro.routing.base import (
     Route,
     RoutingAlgorithm,
 )
-from repro.routing.cache import RouteCache
+from repro.routing.cache import NoRouteError, RouteCache
 from repro.routing.minimal import MinimalRouting
 from repro.routing.valiant import IndirectRandomRouting
 from repro.routing.vc import VCPolicy, default_vc_policy
@@ -256,7 +256,13 @@ class UGALRouting(RoutingAlgorithm):
                 best_second = second
         if best_first is None:
             return minimal
-        return self._compose(best_first, best_second)
+        try:
+            return self._compose(best_first, best_second)
+        except NoRouteError:
+            # Only reachable on a degraded adjacency: recomputed legs
+            # can compose into a route past the indirect VC budget.
+            # Route minimally instead of failing the injection.
+            return minimal
 
     def _route_legacy(
         self,

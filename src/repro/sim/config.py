@@ -9,7 +9,8 @@ buffer space per port per direction, 100 ns switch traversal latency,
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Tuple
 
 __all__ = ["SimConfig", "PAPER_CONFIG"]
 
@@ -40,12 +41,37 @@ class SimConfig:
     #: the golden conformance suite (tests/golden/conformance.json) is
     #: the gate -- so the choice is purely a speed/memory trade-off.
     backend: str = "object"
+    #: Fault schedule specs (repro.resilience.schedule grammar, e.g.
+    #: ``("fail@600:0-5", "recover@900:0-5")``).  Non-empty schedules
+    #: attach a FaultManager to the network; the empty default costs
+    #: the simulation nothing.
+    faults: Tuple[str, ...] = field(default=())
+    #: What happens to a packet queued toward a link that just died:
+    #: ``"reroute"`` re-routes it at its current router (minimal on the
+    #: degraded adjacency), ``"drop"`` counts it as lost.
+    fault_policy: str = "reroute"
 
     def __post_init__(self) -> None:
         if self.backend not in ("object", "batched"):
             raise ValueError(
                 f"unknown backend {self.backend!r} (expected 'object' or 'batched')"
             )
+        if not isinstance(self.faults, tuple):
+            # Frozen dataclass: normalize list inputs (JSON round-trips
+            # through orchestrate/serve produce lists) in place.
+            object.__setattr__(self, "faults", tuple(self.faults))
+        if self.fault_policy not in ("reroute", "drop"):
+            raise ValueError(
+                f"unknown fault_policy {self.fault_policy!r} "
+                "(expected 'reroute' or 'drop')"
+            )
+        if self.faults:
+            # Syntax-check the specs now so malformed schedules fail at
+            # config construction, not mid-simulation.  Lazy import:
+            # repro.resilience.schedule imports nothing from repro.sim.
+            from repro.resilience.schedule import FaultSchedule
+
+            FaultSchedule(self.faults)
         if self.link_bandwidth_gbps <= 0:
             raise ValueError("link_bandwidth_gbps must be positive")
         if self.packet_bytes <= 0:

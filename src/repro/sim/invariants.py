@@ -7,8 +7,9 @@ rest on:
 
 - **Packet conservation** -- every injected packet is in exactly one
   place (NIC link, input buffer, crossbar, output queue, link, ejection
-  link) until delivered, and ``injected == delivered + in_flight`` at
-  all times.
+  link) until delivered, and ``injected == delivered + in_flight +
+  dropped`` at all times (``dropped`` is only ever non-zero under fault
+  injection with the ``"drop"`` policy; see :mod:`repro.resilience`).
 - **Credit-loop accounting** -- for every router-router channel and
   every VC, ``credits + occupied downstream input slots + packets on
   the link + credits in flight back upstream`` is constant (the per-VC
@@ -133,6 +134,7 @@ class InvariantChecker:
         self.net = net
         self.injected = 0
         self.delivered = 0
+        self.dropped = 0  # fault-policy "drop" losses (repro.resilience)
         # pid -> (location, packet).  Locations:
         #   ("inj", node)                    on the injection link
         #   ("inq", rid, in_idx, vc)         in a router input buffer
@@ -385,6 +387,27 @@ class InvariantChecker:
         self.location[pkt.pid] = (("oq", router.rid, out.out_idx, out_vc), pkt)
         self._note("oq pid=%d @r%d out=%d vc=%d", pkt.pid, router.rid, out.out_idx, out_vc)
 
+    # -- fault injection (repro.resilience) -------------------------------------
+
+    def on_fault_drop(self, pkt: Packet) -> None:
+        """A packet queued toward a dead link was discarded (policy
+        ``"drop"``).  It leaves the registry and joins the ``dropped``
+        term of the conservation equation."""
+        self.expect_location(pkt, "oq")
+        del self.location[pkt.pid]
+        self.dropped += 1
+        self._note("fault-drop pid=%d", pkt.pid)
+        self.check_conservation()
+
+    def on_fault_move(
+        self, pkt: Packet, rid: int, out_idx: int, vc: int
+    ) -> None:
+        """A packet queued toward a dead link was rerouted onto a
+        surviving output of the same router (policy ``"reroute"``)."""
+        self.expect_location(pkt, "oq")
+        self.location[pkt.pid] = (("oq", rid, out_idx, vc), pkt)
+        self._note("fault-move pid=%d @r%d -> out=%d vc=%d", pkt.pid, rid, out_idx, vc)
+
     def on_transmit(self, router: Router, out: OutputPort, vc: int, pkt: Packet) -> None:
         rid = router.rid
         self.expect_location(pkt, "oq")
@@ -464,9 +487,10 @@ class InvariantChecker:
 
     def check_conservation(self) -> None:
         in_flight = len(self.location)
-        if self.injected != self.delivered + in_flight:
+        if self.injected != self.delivered + in_flight + self.dropped:
             self.fail("conservation", f"injected {self.injected} != delivered "
-                      f"{self.delivered} + in-flight {in_flight}")
+                      f"{self.delivered} + in-flight {in_flight} + dropped "
+                      f"{self.dropped}")
 
     def check_credit_loop(
         self, rid: int, out_idx: int, only_vc: Optional[int] = None

@@ -45,6 +45,7 @@ class Network:
         self.num_vcs = routing.num_vcs
         self.stats = StatsCollector(topology.num_nodes, config)
         self.checker = None  # InvariantChecker when config.check is set
+        self.fault_manager = None  # FaultManager when config.faults is set
         self._pid = 0
         # Port-tuple fallback for routes without precompiled ports
         # (legacy ``compiled=False`` algorithms, ad-hoc Route objects);
@@ -158,6 +159,13 @@ class Network:
                 self.checker = BatchedChecker(self)
                 self.checker.attach()
 
+        if config.faults:
+            from repro.resilience import FaultManager, FaultSchedule
+
+            self.fault_manager = FaultManager(
+                self, FaultSchedule(config.faults), config.fault_policy
+            )
+
         #: Backend-neutral time source; stats code reads ``clock.now``
         #: and the utilization window rather than engine internals.
         self.clock = SimClock(self.engine)
@@ -234,6 +242,11 @@ class Network:
                 "Network(topology, routing) for the next one"
             )
         self._experiment_ran = True
+        if self.fault_manager is not None:
+            # Arm before any traffic is scheduled so fault events take
+            # the earliest sequence numbers -- identically on both
+            # backends (every driver claims before submitting work).
+            self.fault_manager.arm()
 
     def reset_utilization(self) -> None:
         """Zero the per-port transmission counters (called at warm-up end)."""

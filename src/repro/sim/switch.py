@@ -48,6 +48,7 @@ class OutputPort:
     __slots__ = (
         "out_idx",
         "busy",
+        "dead",
         "oq",
         "oq_occ",
         "oq_cap",
@@ -73,6 +74,10 @@ class OutputPort:
     ):
         self.out_idx = out_idx
         self.busy = False
+        # Failed-link marker (repro.resilience): a dead port accepts no
+        # new output-queue entries -- packets headed into it are
+        # diverted (rerouted or dropped) at _enter_oq time.
+        self.dead = False
         self.oq: List[deque] = [deque() for _ in range(num_vcs)]
         self.oq_occ = [0] * num_vcs
         self.oq_cap = oq_capacity
@@ -164,6 +169,11 @@ class Router:
             engine.schedule(self._switch, self._enter_oq, out, out_vc, pkt)
 
     def _enter_oq(self, out: OutputPort, out_vc: int, pkt: Packet) -> None:
+        if out.dead:
+            res = self.net.fault_manager.divert_enter(self, out, out_vc, pkt)
+            if res is None:
+                return
+            out, out_vc = res
         out.oq[out_vc].append(pkt)
         if not out.busy:
             self._try_transmit(out)

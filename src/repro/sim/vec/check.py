@@ -218,11 +218,13 @@ class BatchedChecker:
         buffered = sum(len(q) for q in st.iv_q)
         queued = sum(len(q) for q in st.pv_oq)
         in_flight = heap_pkts + buffered + queued
-        if self.injected != self.delivered + in_flight:
+        fm = net.fault_manager
+        dropped = fm.dropped if fm is not None else 0
+        if self.injected != self.delivered + in_flight + dropped:
             self.fail("conservation", f"injected {self.injected} != "
                       f"delivered {self.delivered} + in-flight {in_flight} "
-                      f"(on-link/in-switch {heap_pkts}, input-buffered "
-                      f"{buffered}, output-queued {queued})")
+                      f"+ dropped {dropped} (on-link/in-switch {heap_pkts}, "
+                      f"input-buffered {buffered}, output-queued {queued})")
 
         # Per-port occupancy counters vs. a recount.
         for gid in range(st.NP):
@@ -300,7 +302,9 @@ class BatchedChecker:
         """After a drained run: nothing in flight, every credit home."""
         self.audit()
         st = self.net._vec.st
-        in_flight = self.injected - self.delivered
+        fm = self.net.fault_manager
+        dropped = fm.dropped if fm is not None else 0
+        in_flight = self.injected - self.delivered - dropped
         if in_flight:
             self.fail("conservation", f"{in_flight} packets still in "
                       f"flight after drain")

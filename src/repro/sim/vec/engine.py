@@ -307,6 +307,81 @@ class BatchedEngine:
         else:
             st.n_wake[node] = False
 
+    # -- cold-path transfer mirrors (fault handling) ---------------------------
+    #
+    # Exact method-form mirrors of the run loop's admit_pending /
+    # try_transfer / transfer_one closures, for use from inside a CALL
+    # escape (the fault manager's fail-time drain).  During an escape
+    # self._seq/_qsize/_idx/_cur/_curb are synchronised, so these
+    # consume sequence numbers and push events exactly as the closures
+    # would -- keeping cross-backend event order identical.
+
+    def _transfer_one_cold(self, in_gid: int, vc: int, gid: int, pid: int,
+                           t: float, s: int) -> None:
+        st = self.st
+        V = st.V
+        upp = st.in_up_port[in_gid]
+        if upp >= 0:
+            self._seq += 1
+            at = t + st.LINK
+            upv = upp * V + vc
+            st.pv_arr[upv].append((at, self._seq))
+            if st.pv_cred[upv] == 0 and st.pv_oq[upv]:
+                bt = st.p_busy_t[upp]
+                if not (t < bt or (t == bt and s < st.p_busy_s[upp])):
+                    self._push(at, self._seq, _PWAKE, upp, 0, 0)
+        else:
+            upn = st.in_up_node[in_gid]
+            if upn >= 0:
+                self._seq += 1
+                at = t + st.LINK
+                st.n_arr[upn].append((at, self._seq))
+                if st.n_cred[upn] == 0 and (
+                    st.n_q[upn] or st.n_src[upn] is not None
+                ):
+                    self._push(at, self._seq, _NWAKE, upn, 0, 0)
+        self._seq += 1
+        pv = gid * V + st.k_vcs[pid][st.k_hop[pid]]
+        self._push(t + st.SWITCH, self._seq, _ENTER, pv, pid, gid)
+
+    def _try_transfer_cold(self, in_gid: int, vc: int, t: float, s: int) -> None:
+        st = self.st
+        V = st.V
+        q = st.iv_q[in_gid * V + vc]
+        base = st.in_pbase[in_gid]
+        k_ports = st.k_ports
+        k_vcs = st.k_vcs
+        k_hop = st.k_hop
+        while q:
+            pid = q[0]
+            gid = base + k_ports[pid][k_hop[pid]]
+            ovc = k_vcs[pid][k_hop[pid]]
+            pv = gid * V + ovc
+            if st.pv_occ[pv] >= st.OQ_CAP:
+                st.p_pend[gid].append((in_gid, vc))
+                return
+            st.pv_occ[pv] += 1
+            q.popleft()
+            self._transfer_one_cold(in_gid, vc, gid, pid, t, s)
+
+    def _admit_pending_cold(self, gid: int, freed_vc: int, t: float, s: int) -> None:
+        st = self.st
+        V = st.V
+        pending = st.p_pend[gid]
+        iv_q = st.iv_q
+        k_vcs = st.k_vcs
+        k_hop = st.k_hop
+        i = 0
+        for in_gid, vc in pending:
+            pid = iv_q[in_gid * V + vc][0]
+            if k_vcs[pid][k_hop[pid]] == freed_vc:
+                if i:
+                    pending.rotate(-i)
+                pending.popleft()
+                self._try_transfer_cold(in_gid, vc, t, s)
+                return
+            i += 1
+
     # -- the event loop --------------------------------------------------------
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
@@ -343,6 +418,9 @@ class BatchedEngine:
         p_pend = st.p_pend
         p_dest_in = st.p_dest_in
         p_has_cred = st.p_has_cred
+        p_dead = st.p_dead
+        fault_mgr = getattr(net, "fault_manager", None)
+        fm_divert = fault_mgr.divert_tail if fault_mgr is not None else None
         pv_oq = st.pv_oq
         pv_occ = st.pv_occ
         pv_cred = st.pv_cred
@@ -590,8 +668,24 @@ class BatchedEngine:
                             pv_occ[pv] += 1
                             transfer_one(a, b, gid, c, t, s)
                 elif op == _ENTER:
-                    pv_oq[a].append(ev[4])
                     gid = ev[5]
+                    if p_dead[gid]:
+                        # Failed link: divert (reroute or drop) at this
+                        # router, mirroring the object backend's
+                        # _enter_oq dead branch (repro.resilience).
+                        self.now = t
+                        self._cs = s
+                        self._seq = seq
+                        self._qsize = qsize
+                        self._idx = idx
+                        res = fm_divert(a, ev[4], gid)
+                        seq = self._seq
+                        qsize = self._qsize
+                        admit_pending(gid, a - gid * V, t, s)
+                        if res is None:
+                            continue
+                        a, gid = res
+                    pv_oq[a].append(ev[4])
                     p_oqtot[gid] += 1
                     bt = p_busy_t[gid]
                     if t < bt or (t == bt and s < p_busy_s[gid]):

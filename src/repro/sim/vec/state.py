@@ -63,7 +63,7 @@ class SoAState:
         "p_off", "in_off", "in_rid", "in_pbase", "in_up_port", "in_up_node",
         # per-port state (len NP)
         "p_busy_t", "p_busy_s", "p_wake", "p_queued", "p_rr", "p_sent",
-        "p_oqtot", "p_pend", "p_dest_in", "p_eject", "p_has_cred",
+        "p_oqtot", "p_pend", "p_dest_in", "p_eject", "p_has_cred", "p_dead",
         # per port-VC state (len NP*V)
         "pv_oq", "pv_occ", "pv_cred", "pv_arr",
         # per input-VC packet queues (len NI*V)
@@ -124,6 +124,7 @@ class SoAState:
         st.p_dest_in = [-1] * NP
         st.p_eject = [-1] * NP
         st.p_has_cred = [False] * NP
+        st.p_dead = [False] * NP  # failed-link markers (repro.resilience)
         st.pv_oq = [deque() for _ in range(NP * V)]
         st.pv_occ = [0] * (NP * V)
         st.pv_cred = [0] * (NP * V)

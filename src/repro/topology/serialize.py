@@ -26,7 +26,24 @@ FORMAT_VERSION = 1
 
 
 def topology_to_dict(topology: Topology) -> Dict:
-    """Serialise a topology to a JSON-safe dict."""
+    """Serialise a topology to a JSON-safe dict.
+
+    A :class:`repro.analysis.faults.DegradedTopology` is stored as its
+    intact base plus the failed-link list (not as a flattened graph), so
+    the round-trip preserves both the degraded adjacency *and* the
+    original structure the degradation came from.
+    """
+    from repro.analysis.faults import DegradedTopology  # lazy: avoids a cycle
+
+    if isinstance(topology, DegradedTopology):
+        return {
+            "format_version": FORMAT_VERSION,
+            "degraded": {
+                "base": topology_to_dict(topology.base),
+                "failed_links": [[int(u), int(v)]
+                                 for u, v in topology.failed_links],
+            },
+        }
     link_classes = {}
     for u, v in topology.directed_channels():
         cls = topology.link_class(u, v)
@@ -81,11 +98,24 @@ class LoadedTopology(Topology):
         return list(self._valiant)
 
 
-def topology_from_dict(data: Dict) -> LoadedTopology:
-    """Inverse of :func:`topology_to_dict`."""
+def topology_from_dict(data: Dict) -> Topology:
+    """Inverse of :func:`topology_to_dict`.
+
+    Returns a :class:`LoadedTopology`, or a
+    :class:`~repro.analysis.faults.DegradedTopology` over one when the
+    dict stores a degraded instance.
+    """
     version = data.get("format_version")
     if version != FORMAT_VERSION:
         raise ValueError(f"unsupported topology format version {version!r}")
+    if "degraded" in data:
+        from repro.analysis.faults import DegradedTopology
+
+        deg = data["degraded"]
+        base = topology_from_dict(deg["base"])
+        return DegradedTopology(
+            base, [(int(u), int(v)) for u, v in deg["failed_links"]]
+        )
     return LoadedTopology(data)
 
 

@@ -128,11 +128,19 @@ class WorkloadDriver:
 
         if len(self._complete_ns) != self.workload.num_messages:
             done = len(self._complete_ns)
+            fm = getattr(net, "fault_manager", None)
+            dropped = fm.dropped if fm is not None else 0
+            why = (
+                f"{dropped} packets dropped at failed links "
+                f"(fault_policy='drop' cannot complete a closed-loop "
+                f"workload: lost packets are never retransmitted)"
+                if dropped
+                else "possible deadlock or event-budget exhaustion"
+            )
             raise RuntimeError(
                 f"workload {self.workload.name!r} incomplete: {done}/"
                 f"{self.workload.num_messages} messages finished, "
-                f"{self._released - done} in flight "
-                f"(possible deadlock or event-budget exhaustion)"
+                f"{self._released - done} in flight ({why})"
             )
 
         completion = max(self._complete_ns.values())
@@ -154,7 +162,7 @@ class WorkloadDriver:
             }
             for phase, count_total in _phase_sizes(self.workload).items()
         }
-        return {
+        result = {
             "workload": self.workload.name,
             "completion_ns": completion,
             "messages": self.workload.num_messages,
@@ -174,6 +182,21 @@ class WorkloadDriver:
             "events": events,
             "driver_wall_s": wall_s,
         }
+        fm = net.fault_manager
+        if fm is not None:
+            # Degradation metrics (repro.resilience): how the schedule
+            # absorbed the injected faults.  Post-fault skew covers the
+            # window from the first failure to schedule completion.
+            result["fault_events"] = fm.fired
+            result["fault_reroutes"] = fm.reroutes
+            result["fault_dropped"] = fm.dropped
+            result["first_fault_ns"] = fm.first_fault_ns
+            post = fm.post_fault_skew(completion)
+            if post is not None:
+                result["post_fault_link_load_max"] = post["max"]
+                result["post_fault_link_load_mean"] = post["mean"]
+                result["post_fault_link_load_skew"] = post["skew"]
+        return result
 
     def _link_skew(self, completion_ns: float) -> Dict[str, float]:
         """Max/mean utilization over router-router links for the run."""

@@ -97,6 +97,50 @@ def test_process_pool_matches_golden(golden):
     assert not problems, "\n".join(problems)
 
 
+# -- fault-schedule golden (repro.resilience) -------------------------------
+
+FAULT_GOLDEN = Path(__file__).parent / "golden" / "fault_conformance.json"
+
+
+@pytest.fixture(scope="module")
+def fault_golden():
+    return conformance.load_fault_golden(str(FAULT_GOLDEN))
+
+
+@pytest.mark.parametrize("check,backend", [
+    (False, "object"),
+    (True, "object"),
+    (False, "batched"),
+    (True, "batched"),
+])
+def test_fault_case_matches_golden(fault_golden, check, backend):
+    # The deterministic fault-schedule run (fail + recover + seeded
+    # drip, mid-measurement) must reproduce the committed fingerprint
+    # -- delivery stream, stats AND reroute counts -- on both backends,
+    # checked and unchecked.
+    got = conformance.run_fault_case(check=check, backend=backend)
+    problems = conformance.diff_fault_fingerprint(fault_golden, got)
+    assert not problems, "\n".join(problems)
+
+
+def test_fault_case_matches_golden_in_pool(fault_golden):
+    with ProcessPoolExecutor(max_workers=1) as pool:
+        got = pool.submit(conformance.run_fault_case).result()
+    problems = conformance.diff_fault_fingerprint(fault_golden, got)
+    assert not problems, "\n".join(problems)
+
+
+def test_fault_diff_reports_fault_counters(fault_golden):
+    mutated = {
+        "stats": dict(fault_golden["stats"]),
+        "digest": fault_golden["digest"],
+        "delivered": fault_golden["delivered"],
+        "faults": dict(fault_golden["faults"], reroutes=-1),
+    }
+    problems = conformance.diff_fault_fingerprint(fault_golden, mutated)
+    assert any("faults.reroutes changed" in p for p in problems)
+
+
 def test_diff_reports_are_actionable(golden):
     # The diff helper names the case, the field and both values --
     # that's what makes a golden failure debuggable.

@@ -78,6 +78,8 @@ class TestContentHash:
             "packet_bytes": 512,
             "check": True,
             "backend": "batched",
+            "faults": ["fail@600:0-1"],
+            "fault_policy": "drop",
         }
         for field in dataclasses.fields(defaults):
             config = sim_config_dict(defaults)
