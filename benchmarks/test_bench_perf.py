@@ -7,11 +7,15 @@ routing-layer microbenchmark that times ``UGALRouting.route`` itself
 against live congestion state on a warmed network -- the purest view of
 the cached-vs-uncached difference, undiluted by event-queue costs.
 
-A second axis compares the two simulator backends (``SimConfig.backend
-= "object" | "batched"``) on identical work: per-backend wall-clock and
-throughput plus ``batched_speedup`` (wall-clock ratio; event *counts*
-differ across backends by design, the batched engine elides bookkeeping
-events, so events/sec is per-backend color, not a comparison).
+A second axis compares the simulator backends (``SimConfig.backend =
+"object" | "batched" | "kernel"``) on identical work: per-backend
+wall-clock and throughput plus ``batched_speedup`` / ``kernel_speedup``
+(wall-clock ratios over the object engine; event *counts* differ across
+backends by design, the batched engine elides bookkeeping events, so
+events/sec is per-backend color, not a comparison).  The compiled
+kernel rows appear only where the extension builds; a third bench runs
+the three backends at the UGAL saturation point on the 490-node Slim
+Fly (MMS q=7), the operating regime the kernel exists for.
 
 Results go to ``benchmarks/out/perf_summary.json`` so future PRs have a
 perf trajectory to regress against.  Wall-clock is taken as the best of
@@ -55,6 +59,17 @@ REGRESSION_FLOOR = 0.7  # fail below 70% of the committed baseline
 #: noise floor of shared runners, not the aspiration: batched must
 #: never fall meaningfully behind the reference engine.
 BATCHED_SPEEDUP_FLOOR = 0.8
+
+#: Wall-clock floor for the compiled kernel relative to the object
+#: engine on the saturation bench (the acceptance gate of the kernel
+#: PR).  Measured reality (gcc -O2, CPython 3.11, 2026-08): ~2.4x on
+#: UGAL/Slim Fly; the remainder to the 5-10x aspiration is Amdahl-bound
+#: in the Python boundary escapes (routing + RNG + delivery stats),
+#: which the kernel shares with every backend -- see docs/PERFORMANCE.md
+#: for the measured escape split.  Only enforced when
+#: ``REPRO_PERF_BASELINE`` is set (the CI perf-smoke job): shared
+#: runners without that gate still record the number but don't fail.
+KERNEL_SPEEDUP_FLOOR = 2.0
 
 
 def _force_mode(routing, compiled: bool):
@@ -134,24 +149,34 @@ def _sim_once_backend(cfg, kind: str, backend: str):
     return wall, stats.ejected_packets, net.engine.events_executed
 
 
-def _bench_backends(cfg, kind: str):
-    """Interleaved best-of-REPS, object vs. batched backend.
+def _backend_axis() -> tuple:
+    """The backends this machine can run: kernel only where it builds."""
+    from repro.sim.vec.kernel import load_kernel
 
-    The two backends execute different *event counts* for the same
-    physics (the batched engine elides link-free/credit-return events),
+    backends = ["object", "batched"]
+    if load_kernel() is not None:
+        backends.append("kernel")
+    return tuple(backends)
+
+
+def _bench_backends(cfg, kind: str, backends: tuple):
+    """Interleaved best-of-REPS across the simulator backends.
+
+    The backends execute different *event counts* for the same physics
+    (the batched/kernel engines elide link-free/credit-return events),
     so ``events_per_sec`` is reported per backend but is not comparable
-    across them; ``batched_speedup`` is the wall-clock ratio on
-    identical delivered work.
+    across them; ``batched_speedup`` / ``kernel_speedup`` are wall-clock
+    ratios over the object engine on identical delivered work.
     """
-    walls = {"object": [], "batched": []}
+    walls = {backend: [] for backend in backends}
     packets = None
     events = {}
     for _ in range(REPS):
-        for backend in ("object", "batched"):
+        for backend in backends:
             wall, pkts, evs = _sim_once_backend(cfg, kind, backend)
             walls[backend].append(wall)
             events[backend] = evs
-            # Conformance contract: identical physics on both backends.
+            # Conformance contract: identical physics on every backend.
             if packets is None:
                 packets = pkts
             assert pkts == packets, (
@@ -159,7 +184,7 @@ def _bench_backends(cfg, kind: str):
                 f"packets ({backend}: {pkts} != {packets})"
             )
     out = {"packets": packets}
-    for backend in ("object", "batched"):
+    for backend in backends:
         wall = min(walls[backend])
         out[backend] = {
             "wall_s": round(wall, 4),
@@ -167,9 +192,77 @@ def _bench_backends(cfg, kind: str):
             "events": events[backend],
             "events_per_sec": round(events[backend] / wall, 1),
         }
-    out["batched_speedup"] = round(
-        out["object"]["wall_s"] / out["batched"]["wall_s"], 3
-    )
+    for backend in backends[1:]:
+        out[f"{backend}_speedup"] = round(
+            out["object"]["wall_s"] / out[backend]["wall_s"], 3
+        )
+    return out
+
+
+#: The saturation bench instance: MMS q=7 with floor concentration is
+#: 98 routers x 5 endpoints = 490 nodes -- the smallest Slim Fly where
+#: per-event Python overhead, not cache effects, dominates wall-clock.
+SAT_Q = 7
+SAT_LOAD = 0.9  # past the UGAL saturation knee: maximal event pressure
+SAT_WARMUP_NS = 500.0
+SAT_MEASURE_NS = 1_500.0
+SAT_REPS = 2  # each rep is seconds of wall-clock at this scale
+
+
+def _bench_saturation(backends: tuple):
+    """All backends at the UGAL saturation point on the 490-node SF.
+
+    This is the regime the compiled kernel exists for: every queue
+    deep, every VC arbitration contested, wake-up elision earning its
+    keep.  Reports per-backend events/sec (per-backend color, see
+    ``_bench_backends``) and wall-clock speedups over the object engine.
+    """
+    from repro.routing import UGALRouting
+    from repro.topology import SlimFly
+
+    walls = {backend: [] for backend in backends}
+    packets = nodes = None
+    events = {}
+    for _ in range(SAT_REPS):
+        for backend in backends:
+            topo = SlimFly(SAT_Q)
+            nodes = topo.num_nodes
+            net = Network(topo, UGALRouting(topo, seed=SEED),
+                          SimConfig(backend=backend))
+            t0 = time.perf_counter()
+            stats = net.run_synthetic(
+                UniformRandom(topo.num_nodes),
+                load=SAT_LOAD,
+                warmup_ns=SAT_WARMUP_NS,
+                measure_ns=SAT_MEASURE_NS,
+                seed=SEED,
+            )
+            walls[backend].append(time.perf_counter() - t0)
+            events[backend] = net.engine.events_executed
+            if packets is None:
+                packets = stats.ejected_packets
+            assert stats.ejected_packets == packets, (
+                f"saturation bench: backends diverged "
+                f"({backend}: {stats.ejected_packets} != {packets})"
+            )
+    out = {
+        "case": f"sf:q={SAT_Q}/ugal",
+        "nodes": nodes,
+        "load": SAT_LOAD,
+        "packets": packets,
+    }
+    for backend in backends:
+        wall = min(walls[backend])
+        out[backend] = {
+            "wall_s": round(wall, 4),
+            "packets_per_sec": round(packets / wall, 1),
+            "events": events[backend],
+            "events_per_sec": round(events[backend] / wall, 1),
+        }
+    for backend in backends[1:]:
+        out[f"{backend}_speedup"] = round(
+            out["object"]["wall_s"] / out[backend]["wall_s"], 3
+        )
     return out
 
 
@@ -361,19 +454,33 @@ def _check_baseline(summary) -> list:
                 )
     for topo_key, per_routing in baseline.get("backends", {}).items():
         for kind, entry in per_routing.items():
-            ref = entry.get("batched", {}).get("packets_per_sec")
-            got = (
-                summary.get("backends", {})
-                .get(topo_key, {})
-                .get(kind, {})
-                .get("batched", {})
-                .get("packets_per_sec")
-            )
-            if ref and got and got < REGRESSION_FLOOR * ref:
-                failures.append(
-                    f"backends {topo_key}/{kind}: batched {got:.0f} pkts/s "
-                    f"< {REGRESSION_FLOOR:.0%} of baseline {ref:.0f}"
+            for backend in ("batched", "kernel"):
+                ref = entry.get(backend, {}).get("packets_per_sec")
+                got = (
+                    summary.get("backends", {})
+                    .get(topo_key, {})
+                    .get(kind, {})
+                    .get(backend, {})
+                    .get("packets_per_sec")
                 )
+                # Kernel rows are absent where the extension can't
+                # build; the dedicated fallback CI job covers that leg.
+                if ref and got and got < REGRESSION_FLOOR * ref:
+                    failures.append(
+                        f"backends {topo_key}/{kind}: {backend} {got:.0f} "
+                        f"pkts/s < {REGRESSION_FLOOR:.0%} of baseline "
+                        f"{ref:.0f}"
+                    )
+    # The kernel acceptance gate: on the saturation bench the compiled
+    # kernel must hold >= KERNEL_SPEEDUP_FLOOR over the object engine.
+    sat = summary.get("kernel_saturation", {})
+    if baseline.get("kernel_saturation", {}).get("kernel_speedup") and \
+            "kernel_speedup" in sat:
+        if sat["kernel_speedup"] < KERNEL_SPEEDUP_FLOOR:
+            failures.append(
+                f"kernel saturation bench: speedup {sat['kernel_speedup']} "
+                f"< floor {KERNEL_SPEEDUP_FLOOR} over object"
+            )
     micro_ref = baseline.get("ugal_sf_routing_microbench", {}).get(
         "cached_routes_per_sec"
     )
@@ -400,10 +507,16 @@ def test_bench_perf(scale, report_dir):
         summary["end_to_end"][topo_key] = {
             kind: _bench_sim(cfg, kind) for kind in ("min", "inr", "ugal")
         }
+    backends = _backend_axis()
+    summary["backend_axis"] = list(backends)
     summary["backends"] = {
-        topo_key: {kind: _bench_backends(cfg, kind) for kind in ("min", "ugal")}
+        topo_key: {
+            kind: _bench_backends(cfg, kind, backends)
+            for kind in ("min", "ugal")
+        }
         for topo_key, cfg in configs.items()
     }
+    summary["kernel_saturation"] = _bench_saturation(backends)
     summary["ugal_sf_routing_microbench"] = _bench_routing_micro(configs["sf"])
     summary["checker_overhead"] = _bench_checker_overhead(configs["sf"])
     summary["fault_overhead"] = _bench_fault_overhead(configs["sf"])
@@ -425,12 +538,17 @@ def test_bench_perf(scale, report_dir):
             assert entry["speedup"] > REGRESSION_FLOOR, (topo_key, kind, entry)
 
     # The batched backend must stay at least at parity with the object
-    # engine (floor sits below 1.0 only to absorb shared-runner noise).
+    # engine (floor sits below 1.0 only to absorb shared-runner noise);
+    # the compiled kernel must in turn never fall behind batched.
     for topo_key, per_routing in summary["backends"].items():
         for kind, entry in per_routing.items():
             assert entry["batched_speedup"] > BATCHED_SPEEDUP_FLOOR, (
                 topo_key, kind, entry
             )
+            if "kernel_speedup" in entry:
+                assert entry["kernel_speedup"] > BATCHED_SPEEDUP_FLOOR, (
+                    topo_key, kind, entry
+                )
 
     # The invariant checker advertises "about 2x"; gate it at < 3x so a
     # hook that quietly lands on the hot path is caught here.

@@ -208,6 +208,36 @@ def _maybe_profile(enabled: bool, top: int = 20):
     return _profiled()
 
 
+def _print_kernel_profile(net) -> None:
+    """--profile satellite for the kernel backend: the Python-escape
+    split (where the remaining wall-clock lives once dispatch is in C),
+    printed to stderr next to the cProfile table."""
+    engine = net.engine
+    stats_fn = getattr(engine, "kernel_stats", None)
+    if stats_fn is None:
+        return
+    s = stats_fn()
+    esc_ns = s["escape_ns"]
+    run_ns = s["run_ns"] or 1.0
+    in_kernel_ns = run_ns - esc_ns
+    print("--- kernel escape split ---", file=sys.stderr)
+    print(
+        f"in-kernel: {s['events']} events, {in_kernel_ns / 1e6:.1f} ms "
+        f"({100.0 * in_kernel_ns / run_ns:.1f}% of kernel run time)",
+        file=sys.stderr,
+    )
+    for name, e in sorted(
+        s["escapes"].items(), key=lambda kv: kv[1]["ns"], reverse=True
+    ):
+        if not e["count"]:
+            continue
+        print(
+            f"escape {name}: {e['count']} calls, {e['ns'] / 1e6:.1f} ms "
+            f"({100.0 * e['ns'] / run_ns:.1f}%)",
+            file=sys.stderr,
+        )
+
+
 def _sim_config(args):
     """The run's SimConfig: the paper's, plus --check/--backend/--faults
     when requested."""
@@ -255,6 +285,8 @@ def _cmd_simulate(args) -> int:
             measure_ns=args.measure,
             seed=args.seed,
         )
+    if args.profile:
+        _print_kernel_profile(net)
     print(
         f"{topo.name} routing={args.routing} pattern={args.pattern} load={args.load:.2f}: "
         f"throughput={stats.throughput:.3f} mean_latency={stats.mean_latency_ns:.1f}ns "
@@ -474,6 +506,7 @@ def _cmd_workload(args) -> int:
         from repro.workload import build_workload
 
         outcomes = []
+        nets: list = []
         with _maybe_profile(args.profile):
             for size in sizes:
                 workload = build_workload(
@@ -486,8 +519,11 @@ def _cmd_workload(args) -> int:
                         workload,
                         seed=args.seed,
                         config=config,
+                        net_sink=nets if args.profile else None,
                     )
                 )
+        if args.profile and nets:
+            _print_kernel_profile(nets[-1])
     rows = [
         [
             size,
@@ -714,12 +750,15 @@ def build_parser() -> argparse.ArgumentParser:
 
     def add_backend_arg(p):
         p.add_argument("--backend", default="object",
-                       choices=["object", "batched"],
+                       choices=["object", "batched", "kernel"],
                        help="simulator backend: 'object' is the reference "
                             "event-per-callback engine, 'batched' dispatches "
-                            "typed events over struct-of-arrays state "
-                            "(bit-identical results, conformance-gated; "
-                            "see docs/PERFORMANCE.md)")
+                            "typed events over struct-of-arrays state, "
+                            "'kernel' runs the batched loop as a compiled C "
+                            "extension (built at first use; falls back to "
+                            "'batched' with a warning when no compiler is "
+                            "available).  All bit-identical, "
+                            "conformance-gated; see docs/PERFORMANCE.md)")
 
     def add_fault_args(p):
         g = p.add_argument_group("fault injection (repro.resilience)")

@@ -53,7 +53,12 @@ __all__ = ["Job", "JobResult", "run_job", "CACHE_VERSION", "sim_config_dict"]
 #: v4: SimConfig grew ``faults``/``fault_policy`` (repro.resilience).
 #: Fault-bearing and fault-free runs of the same point measure different
 #: networks, so they must hash -- and cache -- separately.
-CACHE_VERSION = 4
+#: v5: SimConfig.backend accepts ``"kernel"`` (the compiled event
+#: kernel, repro.sim.vec.kernel).  Kernel results are bit-identical by
+#: contract, but per-backend caching keeps a kernel conformance
+#: regression from hiding behind a stale cross-backend cache hit --
+#: same reasoning as v3.
+CACHE_VERSION = 5
 
 
 def sim_config_dict(config: SimConfig) -> Dict[str, Any]:

@@ -365,6 +365,26 @@ class RouteCache:
                 row[v] = out_idx
         return table
 
+    def flat_port_row(self) -> Tuple[int, List[int]]:
+        """Row-major flattening of :meth:`port_row_table`:
+        ``(stride, flat)`` with ``flat[u * stride + v]`` holding router
+        *u*'s output-port index toward neighbor *v* (``-1`` where no
+        channel exists).
+
+        One flat list keeps the UGAL-L congestion probe -- the hottest
+        per-packet lookup the routing escape makes under the batched and
+        kernel backends -- to a single multiply-indexed load instead of
+        chasing a row list per call.
+        """
+        topo = self.topology
+        n = topo.num_routers
+        flat = [-1] * (n * n)
+        for u in range(n):
+            base = u * n
+            for out_idx, v in enumerate(topo.neighbors(u)):
+                flat[base + v] = out_idx
+        return n, flat
+
     # -- introspection -------------------------------------------------------
 
     def stats(self) -> Dict[str, int]:

@@ -37,9 +37,13 @@ class SimConfig:
     #: (one Python object per router/NIC/port, one callback per event);
     #: ``"batched"`` runs the same physics over struct-of-arrays state
     #: with a flat typed-event loop that elides the per-event callback
-    #: machinery (repro.sim.vec).  Both backends are bit-identical --
-    #: the golden conformance suite (tests/golden/conformance.json) is
-    #: the gate -- so the choice is purely a speed/memory trade-off.
+    #: machinery (repro.sim.vec); ``"kernel"`` is the batched backend
+    #: with the event queue and dispatch loop compiled to C
+    #: (repro.sim.vec.kernel), falling back to ``"batched"`` with one
+    #: RuntimeWarning when no compiler/ABI is available.  All backends
+    #: are bit-identical -- the golden conformance suite
+    #: (tests/golden/conformance.json) is the gate -- so the choice is
+    #: purely a speed/memory trade-off.
     backend: str = "object"
     #: Fault schedule specs (repro.resilience.schedule grammar, e.g.
     #: ``("fail@600:0-5", "recover@900:0-5")``).  Non-empty schedules
@@ -52,9 +56,10 @@ class SimConfig:
     fault_policy: str = "reroute"
 
     def __post_init__(self) -> None:
-        if self.backend not in ("object", "batched"):
+        if self.backend not in ("object", "batched", "kernel"):
             raise ValueError(
-                f"unknown backend {self.backend!r} (expected 'object' or 'batched')"
+                f"unknown backend {self.backend!r} "
+                f"(expected 'object', 'batched' or 'kernel')"
             )
         if not isinstance(self.faults, tuple):
             # Frozen dataclass: normalize list inputs (JSON round-trips

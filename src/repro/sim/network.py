@@ -14,6 +14,7 @@ switch state, and offers the two measurement modes of the paper:
 from __future__ import annotations
 
 import random
+import warnings
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.routing.base import RoutingAlgorithm
@@ -52,7 +53,7 @@ class Network:
         # compiled routes carry their hop ports and never touch it.
         self._route_port_cache: Dict[Tuple[int, ...], Tuple[int, ...]] = {}
         self.tracer = None  # optional PacketTracer (see enable_trace)
-        self._vec = None  # BatchedEngine when config.backend == "batched"
+        self._vec = None  # BatchedEngine/KernelEngine for vec backends
         self._msg_track: Optional[Dict] = None  # per-message tracking (exchanges)
         self._delivery_listeners: list = []  # see add_delivery_listener
         self._experiment_ran = False  # one experiment per Network instance
@@ -138,18 +139,42 @@ class Network:
             self.checker = InvariantChecker(self)
             self.checker.attach()
 
-        if config.backend == "batched":
+        #: Which engine actually runs: ``config.backend`` unless the
+        #: compiled kernel was requested but unavailable, in which case
+        #: this records the ``"batched"`` fallback.
+        self.backend_in_use = config.backend
+
+        if config.backend in ("batched", "kernel"):
             # Swap in the struct-of-arrays engine.  The object routers
             # and NICs built above stay the wiring's single source of
             # truth (the SoA state is flattened *from* them), but all
             # event execution moves to the batched loop: the NIC list
             # becomes driver-facing shims over the arrays and UGAL-L's
             # congestion signal reads the flat per-port counters
-            # (instance attribute shadows the class method).
+            # (instance attribute shadows the class method).  The
+            # kernel backend is the same loop compiled to C; since it
+            # shares the SoA state and the escape contract, the checker
+            # and fault machinery below apply to it unchanged.
             from repro.sim.vec import BatchedEngine
             from repro.sim.vec.state import make_queue_len
 
-            self._vec = BatchedEngine(self)
+            self._vec = None
+            if config.backend == "kernel":
+                from repro.sim.vec import kernel as _kernel_mod
+
+                if _kernel_mod.load_kernel() is not None:
+                    self._vec = _kernel_mod.KernelEngine(self)
+                else:
+                    warnings.warn(
+                        "backend='kernel' requested but the compiled "
+                        f"kernel is unavailable ({_kernel_mod.load_error}); "
+                        "falling back to the pure-Python batched backend",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+                    self.backend_in_use = "batched"
+            if self._vec is None:
+                self._vec = BatchedEngine(self)
             self.engine = self._vec
             self.nics = self._vec.nic_shims
             self.queue_len = make_queue_len(self._vec.st)

@@ -17,8 +17,15 @@ order that UGAL/Valiant routing depends on.  The golden conformance
 suite (``tests/golden/conformance.json``) is the gate: the backend is
 only selectable because it reproduces every committed fingerprint.
 
-Select with ``SimConfig(backend="batched")`` or ``--backend batched``
-on the CLI; see docs/PERFORMANCE.md ("Choosing a backend").
+The ``"kernel"`` backend (:mod:`repro.sim.vec.kernel`) is this loop
+with the event queue and opcode dispatch compiled to C over the same
+SoA state, escaping to Python only at the make_packet/deliver/CALL
+boundaries; it degrades to ``"batched"`` with one warning when no
+compiler is available.
+
+Select with ``SimConfig(backend="batched")`` / ``backend="kernel"`` or
+``--backend`` on the CLI; see docs/PERFORMANCE.md ("Choosing a
+backend").
 """
 
 from repro.sim.vec.engine import BatchedEngine

@@ -1,0 +1,1241 @@
+/* Compiled event kernel for the batched backend (repro.sim.vec.kernel).
+ *
+ * This extension owns the pending-event set (a C binary heap of typed
+ * event structs) and runs the hot opcode handlers -- RECV/ENTER,
+ * PWAKE/NWAKE elided-event retries, VC round-robin arbitration and the
+ * queue-length updates -- as straight C over the *existing*
+ * ``SoAState`` Python lists and deques.  It escapes to the interpreter
+ * only for the boundary events the Python loop also treats as escapes:
+ * NIC sends (``make_packet`` routing + RNG), deliver callbacks, CALL
+ * events and fault diverts.
+ *
+ * Exactness contract (see repro/sim/vec/engine.py for the full model):
+ * every handler below is a line-for-line port of the corresponding
+ * closure in ``BatchedEngine.run`` -- same sequence-reservation
+ * increments in the same order, same lazy busy/credit comparisons,
+ * same float additions producing timestamps.  The binary heap pops in
+ * the identical global ``(time, seq)`` order as the calendar queue:
+ * pushes are never at or before the currently executing key, and the
+ * only same-key collisions are duplicate wake records whose relative
+ * order is immaterial (a spurious wake re-checks state and no-ops).
+ *
+ * Around every escape the engine attributes the Python side reads
+ * (``now``, ``_cs``, ``_seq``) are written out, and ``_seq`` is read
+ * back afterwards, mirroring the nonlocal sync in the Python loop.
+ * ``KernelEngine._push`` routes cold-path pushes (schedule/schedule_at,
+ * NIC sends, fault drains) into this heap, so re-entrant scheduling
+ * from inside an escape lands in the same queue.
+ */
+#define PY_SSIZE_T_CLEAN
+#include <Python.h>
+#include <time.h>
+
+/* Event opcodes -- must match repro/sim/vec/engine.py. */
+enum {
+    OP_RECV = 0,
+    OP_ENTER = 1,
+    OP_PWAKE = 2,
+    OP_DELIVER = 3,
+    OP_NWAKE = 4,
+    OP_GEN = 5,
+    OP_CALL = 6,
+    OP_COUNT = 7
+};
+
+/* Python-escape slots for the --profile split. */
+enum { ESC_MAKE = 0, ESC_DELIVER = 1, ESC_CALL = 2, ESC_DIVERT = 3, ESC_N = 4 };
+
+typedef struct {
+    double t;
+    long long seq;
+    int op;
+    long a, b, c;
+    PyObject *fn;   /* OP_CALL only: callable (owned) */
+    PyObject *args; /* OP_CALL only: argument tuple (owned) */
+} Event;
+
+typedef struct {
+    PyObject_HEAD
+    Event *heap;
+    Py_ssize_t size, cap;
+    /* --profile accounting (escape split vs in-kernel events) */
+    unsigned long long op_counts[OP_COUNT];
+    unsigned long long esc_counts[ESC_N];
+    double esc_ns[ESC_N];
+    double run_ns;
+    unsigned long long runs;
+} Kernel;
+
+/* Interned attribute names / deque method descriptors (module init). */
+static PyObject *str_now, *str_cs, *str_seq, *str_events_executed;
+static PyObject *str_st, *str_net, *str_deliver, *str_nic_try_send;
+static PyObject *str_fault_manager, *str_divert_tail;
+static PyObject *m_popleft, *m_append, *m_rotate; /* deque unbound methods */
+
+static double
+mono_ns(void)
+{
+    struct timespec ts;
+    clock_gettime(CLOCK_MONOTONIC, &ts);
+    return (double)ts.tv_sec * 1e9 + (double)ts.tv_nsec;
+}
+
+/* -- binary heap ---------------------------------------------------------- */
+
+static inline int
+ev_lt(const Event *x, const Event *y)
+{
+    return x->t < y->t || (x->t == y->t && x->seq < y->seq);
+}
+
+static int
+heap_push_ev(Kernel *k, Event ev)
+{
+    if (k->size >= k->cap) {
+        Py_ssize_t ncap = k->cap ? k->cap * 2 : 1024;
+        Event *nh = (Event *)PyMem_Realloc(k->heap, (size_t)ncap * sizeof(Event));
+        if (nh == NULL) {
+            Py_XDECREF(ev.fn);
+            Py_XDECREF(ev.args);
+            PyErr_NoMemory();
+            return -1;
+        }
+        k->heap = nh;
+        k->cap = ncap;
+    }
+    Event *h = k->heap;
+    Py_ssize_t i = k->size++;
+    while (i > 0) {
+        Py_ssize_t p = (i - 1) >> 1;
+        if (ev_lt(&ev, &h[p])) {
+            h[i] = h[p];
+            i = p;
+        } else {
+            break;
+        }
+    }
+    h[i] = ev;
+    return 0;
+}
+
+static Event
+heap_pop_ev(Kernel *k)
+{
+    Event *h = k->heap;
+    Event top = h[0];
+    Event last = h[--k->size];
+    Py_ssize_t n = k->size;
+    Py_ssize_t i = 0;
+    for (;;) {
+        Py_ssize_t l = 2 * i + 1;
+        if (l >= n)
+            break;
+        if (l + 1 < n && ev_lt(&h[l + 1], &h[l]))
+            l += 1;
+        if (ev_lt(&h[l], &last)) {
+            h[i] = h[l];
+            i = l;
+        } else {
+            break;
+        }
+    }
+    if (n > 0)
+        h[i] = last;
+    return top;
+}
+
+static int
+kpush(Kernel *k, double t, long long seq, int op, long a, long b, long c)
+{
+    Event ev = {t, seq, op, a, b, c, NULL, NULL};
+    return heap_push_ev(k, ev);
+}
+
+/* -- SoA list / deque accessors ------------------------------------------- */
+
+static inline long
+ivald(PyObject *list, long i)
+{
+    return PyLong_AsLong(PyList_GET_ITEM(list, (Py_ssize_t)i));
+}
+
+static inline long long
+llval(PyObject *list, long i)
+{
+    return PyLong_AsLongLong(PyList_GET_ITEM(list, (Py_ssize_t)i));
+}
+
+static inline double
+fval(PyObject *list, long i)
+{
+    return PyFloat_AsDouble(PyList_GET_ITEM(list, (Py_ssize_t)i));
+}
+
+static inline int
+iset(PyObject *list, long i, long v)
+{
+    PyObject *o = PyLong_FromLong(v);
+    if (o == NULL)
+        return -1;
+    PyObject *old = PyList_GET_ITEM(list, (Py_ssize_t)i);
+    PyList_SET_ITEM(list, (Py_ssize_t)i, o);
+    Py_DECREF(old);
+    return 0;
+}
+
+static inline int
+llset(PyObject *list, long i, long long v)
+{
+    PyObject *o = PyLong_FromLongLong(v);
+    if (o == NULL)
+        return -1;
+    PyObject *old = PyList_GET_ITEM(list, (Py_ssize_t)i);
+    PyList_SET_ITEM(list, (Py_ssize_t)i, o);
+    Py_DECREF(old);
+    return 0;
+}
+
+static inline int
+fset(PyObject *list, long i, double v)
+{
+    PyObject *o = PyFloat_FromDouble(v);
+    if (o == NULL)
+        return -1;
+    PyObject *old = PyList_GET_ITEM(list, (Py_ssize_t)i);
+    PyList_SET_ITEM(list, (Py_ssize_t)i, o);
+    Py_DECREF(old);
+    return 0;
+}
+
+static inline void
+bset(PyObject *list, long i, int v)
+{
+    PyObject *o = v ? Py_True : Py_False;
+    Py_INCREF(o);
+    PyObject *old = PyList_GET_ITEM(list, (Py_ssize_t)i);
+    PyList_SET_ITEM(list, (Py_ssize_t)i, o);
+    Py_DECREF(old);
+}
+
+static inline Py_ssize_t
+dq_len(PyObject *dq)
+{
+    return PyObject_Size(dq);
+}
+
+static inline PyObject *
+dq_popleft(PyObject *dq)
+{
+    return PyObject_CallOneArg(m_popleft, dq);
+}
+
+/* Append *item* (stealing the reference; item may be NULL to propagate
+ * an allocation error). */
+static inline int
+dq_append_steal(PyObject *dq, PyObject *item)
+{
+    if (item == NULL)
+        return -1;
+    PyObject *argv[2] = {dq, item};
+    PyObject *r = PyObject_Vectorcall(m_append, argv, 2, NULL);
+    Py_DECREF(item);
+    if (r == NULL)
+        return -1;
+    Py_DECREF(r);
+    return 0;
+}
+
+/* First element of a deque of (float, int) key tuples. */
+static inline int
+dq_first_key(PyObject *dq, double *t, long long *s)
+{
+    PyObject *it = PySequence_GetItem(dq, 0);
+    if (it == NULL)
+        return -1;
+    *t = PyFloat_AsDouble(PyTuple_GET_ITEM(it, 0));
+    *s = PyLong_AsLongLong(PyTuple_GET_ITEM(it, 1));
+    Py_DECREF(it);
+    return 0;
+}
+
+/* -- run context ---------------------------------------------------------- */
+
+/* SoAState lists the handlers touch, in declaration order. */
+#define CTX_LISTS(X)                                                      \
+    X(in_pbase) X(in_up_port) X(in_up_node)                               \
+    X(p_busy_t) X(p_busy_s) X(p_wake) X(p_queued) X(p_rr) X(p_sent)       \
+    X(p_oqtot) X(p_pend) X(p_dest_in) X(p_has_cred) X(p_dead)             \
+    X(pv_oq) X(pv_occ) X(pv_cred) X(pv_arr) X(iv_q)                       \
+    X(n_q) X(n_src) X(n_cred) X(n_arr) X(n_busy_t) X(n_busy_s)            \
+    X(n_wake) X(n_qp)                                                     \
+    X(k_ports) X(k_vcs) X(k_hop) X(k_obj)                                 \
+    X(g_t) X(g_d) X(g_i)
+
+typedef struct {
+    Kernel *k;
+    PyObject *eng;
+    PyObject *nic_send;  /* bound eng._nic_try_send */
+    PyObject *deliver;   /* bound net.deliver (checker-wrapped if any) */
+    PyObject *fm_divert; /* bound fault_manager.divert_tail, or NULL */
+#define X(name) PyObject *name;
+    CTX_LISTS(X)
+#undef X
+    long V, OQ_CAP, PKTB;
+    double SER, LINK, SWITCH, SL;
+    long long seq;
+} Ctx;
+
+/* Write eng.now / eng._cs (optional) / eng._seq before an escape. */
+static int
+sync_out(Ctx *c, double t, long long s, int set_cs)
+{
+    PyObject *v = PyFloat_FromDouble(t);
+    if (v == NULL || PyObject_SetAttr(c->eng, str_now, v) < 0) {
+        Py_XDECREF(v);
+        return -1;
+    }
+    Py_DECREF(v);
+    if (set_cs) {
+        v = PyLong_FromLongLong(s);
+        if (v == NULL || PyObject_SetAttr(c->eng, str_cs, v) < 0) {
+            Py_XDECREF(v);
+            return -1;
+        }
+        Py_DECREF(v);
+    }
+    v = PyLong_FromLongLong(c->seq);
+    if (v == NULL || PyObject_SetAttr(c->eng, str_seq, v) < 0) {
+        Py_XDECREF(v);
+        return -1;
+    }
+    Py_DECREF(v);
+    return 0;
+}
+
+/* Read eng._seq back after an escape (the callback may have scheduled). */
+static int
+sync_in(Ctx *c)
+{
+    PyObject *v = PyObject_GetAttr(c->eng, str_seq);
+    if (v == NULL)
+        return -1;
+    c->seq = PyLong_AsLongLong(v);
+    Py_DECREF(v);
+    if (c->seq == -1 && PyErr_Occurred())
+        return -1;
+    return 0;
+}
+
+/* Escape: eng._nic_try_send(node, t, s).  Mirrors the GEN/NWAKE escape
+ * in the Python loop, which syncs now/_seq (not _cs) around the call. */
+static int
+escape_nic_send(Ctx *c, long node, double t, long long s)
+{
+    if (sync_out(c, t, s, 0) < 0)
+        return -1;
+    double t0 = mono_ns();
+    PyObject *r = PyObject_CallFunction(c->nic_send, "ldL", node, t, s);
+    c->k->esc_ns[ESC_MAKE] += mono_ns() - t0;
+    c->k->esc_counts[ESC_MAKE] += 1;
+    if (r == NULL)
+        return -1;
+    Py_DECREF(r);
+    return sync_in(c);
+}
+
+/* -- handler helpers (ports of the BatchedEngine.run closures) ------------ */
+
+static int try_transfer(Ctx *c, long in_gid, long vc, double t, long long s);
+
+static int
+transfer_one(Ctx *c, long in_gid, long vc, long gid, long pid,
+             double t, long long s)
+{
+    long upp = ivald(c->in_up_port, in_gid);
+    if (upp >= 0) {
+        c->seq += 1;
+        double at = t + c->LINK;
+        long upv = upp * c->V + vc;
+        PyObject *key = Py_BuildValue("(dL)", at, c->seq);
+        if (dq_append_steal(PyList_GET_ITEM(c->pv_arr, upv), key) < 0)
+            return -1;
+        if (ivald(c->pv_cred, upv) == 0 &&
+            dq_len(PyList_GET_ITEM(c->pv_oq, upv)) > 0) {
+            double bt = fval(c->p_busy_t, upp);
+            long long bs = llval(c->p_busy_s, upp);
+            if (!(t < bt || (t == bt && s < bs))) {
+                if (kpush(c->k, at, c->seq, OP_PWAKE, upp, 0, 0) < 0)
+                    return -1;
+            }
+        }
+    } else {
+        long upn = ivald(c->in_up_node, in_gid);
+        if (upn >= 0) {
+            c->seq += 1;
+            double at = t + c->LINK;
+            PyObject *key = Py_BuildValue("(dL)", at, c->seq);
+            if (dq_append_steal(PyList_GET_ITEM(c->n_arr, upn), key) < 0)
+                return -1;
+            if (ivald(c->n_cred, upn) == 0 &&
+                (dq_len(PyList_GET_ITEM(c->n_q, upn)) > 0 ||
+                 PyList_GET_ITEM(c->n_src, upn) != Py_None)) {
+                if (kpush(c->k, at, c->seq, OP_NWAKE, upn, 0, 0) < 0)
+                    return -1;
+            }
+        }
+    }
+    c->seq += 1;
+    long hop = ivald(c->k_hop, pid);
+    long ovc = PyLong_AsLong(
+        PyTuple_GET_ITEM(PyList_GET_ITEM(c->k_vcs, pid), hop));
+    long pv = gid * c->V + ovc;
+    return kpush(c->k, t + c->SWITCH, c->seq, OP_ENTER, pv, pid, gid);
+}
+
+static int
+try_transfer(Ctx *c, long in_gid, long vc, double t, long long s)
+{
+    PyObject *q = PyList_GET_ITEM(c->iv_q, in_gid * c->V + vc);
+    long base = ivald(c->in_pbase, in_gid);
+    while (dq_len(q) > 0) {
+        PyObject *head = PySequence_GetItem(q, 0);
+        if (head == NULL)
+            return -1;
+        long pid = PyLong_AsLong(head);
+        Py_DECREF(head);
+        long hop = ivald(c->k_hop, pid);
+        long gid = base + PyLong_AsLong(
+            PyTuple_GET_ITEM(PyList_GET_ITEM(c->k_ports, pid), hop));
+        long ovc = PyLong_AsLong(
+            PyTuple_GET_ITEM(PyList_GET_ITEM(c->k_vcs, pid), hop));
+        long pv = gid * c->V + ovc;
+        if (ivald(c->pv_occ, pv) >= c->OQ_CAP) {
+            PyObject *pr = Py_BuildValue("(ll)", in_gid, vc);
+            return dq_append_steal(PyList_GET_ITEM(c->p_pend, gid), pr);
+        }
+        if (iset(c->pv_occ, pv, ivald(c->pv_occ, pv) + 1) < 0)
+            return -1;
+        PyObject *popped = dq_popleft(q);
+        if (popped == NULL)
+            return -1;
+        Py_DECREF(popped);
+        if (transfer_one(c, in_gid, vc, gid, pid, t, s) < 0)
+            return -1;
+    }
+    return 0;
+}
+
+static int
+admit_pending(Ctx *c, long gid, long freed_vc, double t, long long s)
+{
+    PyObject *pending = PyList_GET_ITEM(c->p_pend, gid);
+    PyObject *it = PyObject_GetIter(pending);
+    if (it == NULL)
+        return -1;
+    long i = 0;
+    PyObject *item;
+    while ((item = PyIter_Next(it)) != NULL) {
+        long in_gid = PyLong_AsLong(PyTuple_GET_ITEM(item, 0));
+        long vc = PyLong_AsLong(PyTuple_GET_ITEM(item, 1));
+        Py_DECREF(item);
+        PyObject *q = PyList_GET_ITEM(c->iv_q, in_gid * c->V + vc);
+        PyObject *head = PySequence_GetItem(q, 0);
+        if (head == NULL) {
+            Py_DECREF(it);
+            return -1;
+        }
+        long pid = PyLong_AsLong(head);
+        Py_DECREF(head);
+        long hop = ivald(c->k_hop, pid);
+        long pvc = PyLong_AsLong(
+            PyTuple_GET_ITEM(PyList_GET_ITEM(c->k_vcs, pid), hop));
+        if (pvc == freed_vc) {
+            Py_DECREF(it);
+            if (i) {
+                PyObject *narg = PyLong_FromLong(-i);
+                if (narg == NULL)
+                    return -1;
+                PyObject *argv[2] = {pending, narg};
+                PyObject *r = PyObject_Vectorcall(m_rotate, argv, 2, NULL);
+                Py_DECREF(narg);
+                if (r == NULL)
+                    return -1;
+                Py_DECREF(r);
+            }
+            PyObject *popped = dq_popleft(pending);
+            if (popped == NULL)
+                return -1;
+            Py_DECREF(popped);
+            return try_transfer(c, in_gid, vc, t, s);
+        }
+        i += 1;
+    }
+    Py_DECREF(it);
+    return PyErr_Occurred() ? -1 : 0;
+}
+
+static int
+try_transmit(Ctx *c, long gid, double t, long long s)
+{
+    long V = c->V;
+    long vc = ivald(c->p_rr, gid);
+    long base = gid * V;
+    int has_cred = ivald(c->p_has_cred, gid) != 0;
+    double best_t = 0.0;
+    long long best_s = 0;
+    int have_best = 0;
+    for (long n = 0; n < V; n++) {
+        if (vc >= V)
+            vc -= V;
+        long pv = base + vc;
+        PyObject *oq = PyList_GET_ITEM(c->pv_oq, pv);
+        if (dq_len(oq) == 0) {
+            vc += 1;
+            continue;
+        }
+        if (has_cred) {
+            long cr = ivald(c->pv_cred, pv);
+            if (cr <= 0) {
+                PyObject *arr = PyList_GET_ITEM(c->pv_arr, pv);
+                if (dq_len(arr) > 0) {
+                    while (dq_len(arr) > 0) {
+                        double at;
+                        long long as;
+                        if (dq_first_key(arr, &at, &as) < 0)
+                            return -1;
+                        if (at < t || (at == t && as <= s)) {
+                            PyObject *p = dq_popleft(arr);
+                            if (p == NULL)
+                                return -1;
+                            Py_DECREF(p);
+                            cr += 1;
+                        } else {
+                            break;
+                        }
+                    }
+                    if (iset(c->pv_cred, pv, cr) < 0)
+                        return -1;
+                }
+                if (cr <= 0) {
+                    /* Blocked on credits: remember the earliest
+                     * in-flight arrival as a wake candidate. */
+                    if (dq_len(arr) > 0) {
+                        double at;
+                        long long as;
+                        if (dq_first_key(arr, &at, &as) < 0)
+                            return -1;
+                        if (!have_best || at < best_t ||
+                            (at == best_t && as < best_s)) {
+                            best_t = at;
+                            best_s = as;
+                            have_best = 1;
+                        }
+                    }
+                    vc += 1;
+                    continue;
+                }
+            }
+            if (iset(c->pv_cred, pv, cr - 1) < 0)
+                return -1;
+        }
+        PyObject *pp = dq_popleft(oq);
+        if (pp == NULL)
+            return -1;
+        long pid = PyLong_AsLong(pp);
+        Py_DECREF(pp);
+        if (iset(c->p_oqtot, gid, ivald(c->p_oqtot, gid) - 1) < 0 ||
+            iset(c->pv_occ, pv, ivald(c->pv_occ, pv) - 1) < 0 ||
+            iset(c->p_queued, gid, ivald(c->p_queued, gid) - 1) < 0 ||
+            iset(c->p_sent, gid, ivald(c->p_sent, gid) + 1) < 0)
+            return -1;
+        long nvc = vc + 1;
+        if (iset(c->p_rr, gid, nvc < V ? nvc : 0) < 0)
+            return -1;
+        c->seq += 1; /* reserved: the elided port link-free event */
+        double bt = t + c->SER;
+        long long bs = c->seq;
+        if (fset(c->p_busy_t, gid, bt) < 0 ||
+            llset(c->p_busy_s, gid, bs) < 0)
+            return -1;
+        c->seq += 1;
+        long din = ivald(c->p_dest_in, gid);
+        if (din < 0) {
+            if (kpush(c->k, t + c->SL, c->seq, OP_DELIVER, 0, 0, pid) < 0)
+                return -1;
+        } else {
+            long hop = ivald(c->k_hop, pid);
+            if (iset(c->k_hop, pid, hop + 1) < 0)
+                return -1;
+            if (kpush(c->k, t + c->SL, c->seq, OP_RECV, din, vc, pid) < 0)
+                return -1;
+        }
+        if (ivald(c->p_oqtot, gid) > 0) {
+            if (kpush(c->k, bt, bs, OP_PWAKE, gid, 0, 0) < 0)
+                return -1;
+            bset(c->p_wake, gid, 1);
+        } else {
+            bset(c->p_wake, gid, 0);
+        }
+        return admit_pending(c, gid, vc, t, s);
+    }
+    if (have_best)
+        return kpush(c->k, best_t, best_s, OP_PWAKE, gid, 0, 0);
+    return 0;
+}
+
+/* -- opcode handlers ------------------------------------------------------ */
+
+static int
+do_recv(Ctx *c, double t, long long s, long a, long b, long pid)
+{
+    long hop = ivald(c->k_hop, pid);
+    long gid = ivald(c->in_pbase, a) + PyLong_AsLong(
+        PyTuple_GET_ITEM(PyList_GET_ITEM(c->k_ports, pid), hop));
+    if (iset(c->p_queued, gid, ivald(c->p_queued, gid) + 1) < 0)
+        return -1;
+    PyObject *q = PyList_GET_ITEM(c->iv_q, a * c->V + b);
+    if (dq_len(q) > 0) {
+        /* Behind others: no transfer attempt. */
+        return dq_append_steal(q, PyLong_FromLong(pid));
+    }
+    /* Head-of-queue fast path: state-identical to append +
+     * try_transfer on a one-element queue. */
+    long ovc = PyLong_AsLong(
+        PyTuple_GET_ITEM(PyList_GET_ITEM(c->k_vcs, pid), hop));
+    long pv = gid * c->V + ovc;
+    if (ivald(c->pv_occ, pv) >= c->OQ_CAP) {
+        if (dq_append_steal(q, PyLong_FromLong(pid)) < 0)
+            return -1;
+        PyObject *pr = Py_BuildValue("(ll)", a, b);
+        return dq_append_steal(PyList_GET_ITEM(c->p_pend, gid), pr);
+    }
+    if (iset(c->pv_occ, pv, ivald(c->pv_occ, pv) + 1) < 0)
+        return -1;
+    return transfer_one(c, a, b, gid, pid, t, s);
+}
+
+static int
+do_enter(Ctx *c, double t, long long s, long pvid, long pid, long gid)
+{
+    if (ivald(c->p_dead, gid)) {
+        /* Failed link: divert (reroute or drop) at this router,
+         * mirroring the object backend's _enter_oq dead branch. */
+        if (c->fm_divert == NULL) {
+            PyErr_SetString(PyExc_RuntimeError,
+                            "dead port entered with no fault manager");
+            return -1;
+        }
+        if (sync_out(c, t, s, 1) < 0)
+            return -1;
+        double t0 = mono_ns();
+        PyObject *res = PyObject_CallFunction(c->fm_divert, "lll",
+                                              pvid, pid, gid);
+        c->k->esc_ns[ESC_DIVERT] += mono_ns() - t0;
+        c->k->esc_counts[ESC_DIVERT] += 1;
+        if (res == NULL)
+            return -1;
+        if (sync_in(c) < 0) {
+            Py_DECREF(res);
+            return -1;
+        }
+        if (admit_pending(c, gid, pvid - gid * c->V, t, s) < 0) {
+            Py_DECREF(res);
+            return -1;
+        }
+        if (res == Py_None) {
+            Py_DECREF(res); /* dropped */
+            return 0;
+        }
+        pvid = PyLong_AsLong(PyTuple_GET_ITEM(res, 0));
+        gid = PyLong_AsLong(PyTuple_GET_ITEM(res, 1));
+        Py_DECREF(res);
+    }
+    if (dq_append_steal(PyList_GET_ITEM(c->pv_oq, pvid),
+                        PyLong_FromLong(pid)) < 0)
+        return -1;
+    if (iset(c->p_oqtot, gid, ivald(c->p_oqtot, gid) + 1) < 0)
+        return -1;
+    double bt = fval(c->p_busy_t, gid);
+    long long bs = llval(c->p_busy_s, gid);
+    if (t < bt || (t == bt && s < bs)) {
+        if (!ivald(c->p_wake, gid)) {
+            if (kpush(c->k, bt, bs, OP_PWAKE, gid, 0, 0) < 0)
+                return -1;
+            bset(c->p_wake, gid, 1);
+        }
+        return 0;
+    }
+    return try_transmit(c, gid, t, s);
+}
+
+static int
+do_gen(Ctx *c, double t, long long s, long node)
+{
+    long i = ivald(c->g_i, node);
+    if (iset(c->g_i, node, i + 1) < 0)
+        return -1;
+    long dst = ivald(PyList_GET_ITEM(c->g_d, node), i);
+    if (dst == -2) /* past-horizon sentinel */
+        return 0;
+    if (dst >= 0) {
+        /* Inlined NIC.submit(dst, packet_bytes). */
+        PyObject *rec = Py_BuildValue("(llOd)", dst, c->PKTB, Py_None, t);
+        if (dq_append_steal(PyList_GET_ITEM(c->n_q, node), rec) < 0)
+            return -1;
+        if (iset(c->n_qp, node, ivald(c->n_qp, node) + 1) < 0)
+            return -1;
+        double bt = fval(c->n_busy_t, node);
+        long long bs = llval(c->n_busy_s, node);
+        if (t < bt || (t == bt && s < bs)) {
+            if (!ivald(c->n_wake, node)) {
+                if (kpush(c->k, bt, bs, OP_NWAKE, node, 0, 0) < 0)
+                    return -1;
+                bset(c->n_wake, node, 1);
+            }
+        } else {
+            if (escape_nic_send(c, node, t, s) < 0)
+                return -1;
+        }
+    }
+    c->seq += 1;
+    double nt = fval(PyList_GET_ITEM(c->g_t, node), i + 1);
+    return kpush(c->k, nt, c->seq, OP_GEN, node, 0, 0);
+}
+
+static int
+do_pwake(Ctx *c, double t, long long s, long gid)
+{
+    double bt = fval(c->p_busy_t, gid);
+    long long bs = llval(c->p_busy_s, gid);
+    if (!(t < bt || (t == bt && s < bs)))
+        return try_transmit(c, gid, t, s);
+    return 0;
+}
+
+static int
+do_nwake(Ctx *c, double t, long long s, long node)
+{
+    double bt = fval(c->n_busy_t, node);
+    long long bs = llval(c->n_busy_s, node);
+    if (!(t < bt || (t == bt && s < bs)))
+        return escape_nic_send(c, node, t, s);
+    return 0;
+}
+
+static int
+do_deliver(Ctx *c, double t, long long s, long pid)
+{
+    if (sync_out(c, t, s, 1) < 0)
+        return -1;
+    double t0 = mono_ns();
+    PyObject *r = PyObject_CallOneArg(c->deliver,
+                                      PyList_GET_ITEM(c->k_obj, pid));
+    c->k->esc_ns[ESC_DELIVER] += mono_ns() - t0;
+    c->k->esc_counts[ESC_DELIVER] += 1;
+    if (r == NULL)
+        return -1;
+    Py_DECREF(r);
+    return sync_in(c);
+}
+
+static int
+do_call(Ctx *c, double t, long long s, PyObject *fn, PyObject *args)
+{
+    /* Caller owns fn/args and decrefs them after we return. */
+    if (sync_out(c, t, s, 1) < 0)
+        return -1;
+    double t0 = mono_ns();
+    PyObject *r = PyObject_Call(fn, args, NULL);
+    c->k->esc_ns[ESC_CALL] += mono_ns() - t0;
+    c->k->esc_counts[ESC_CALL] += 1;
+    if (r == NULL)
+        return -1;
+    Py_DECREF(r);
+    return sync_in(c);
+}
+
+/* -- Kernel methods ------------------------------------------------------- */
+
+static PyObject *
+Kernel_push(Kernel *k, PyObject *args)
+{
+    double t;
+    long long seq;
+    int op;
+    PyObject *a, *b, *cc;
+    if (!PyArg_ParseTuple(args, "dLiOOO", &t, &seq, &op, &a, &b, &cc))
+        return NULL;
+    Event ev = {t, seq, op, 0, 0, 0, NULL, NULL};
+    if (op == OP_CALL) {
+        Py_INCREF(a);
+        Py_INCREF(b);
+        ev.fn = a;
+        ev.args = b;
+    } else {
+        ev.a = PyLong_AsLong(a);
+        ev.b = PyLong_AsLong(b);
+        ev.c = PyLong_AsLong(cc);
+        if (PyErr_Occurred())
+            return NULL;
+    }
+    if (heap_push_ev(k, ev) < 0)
+        return NULL;
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+Kernel_run(Kernel *k, PyObject *args)
+{
+    PyObject *eng, *until_o = Py_None, *maxev_o = Py_None;
+    if (!PyArg_ParseTuple(args, "O|OO", &eng, &until_o, &maxev_o))
+        return NULL;
+    double cap = Py_HUGE_VAL;
+    if (until_o != Py_None) {
+        cap = PyFloat_AsDouble(until_o);
+        if (cap == -1.0 && PyErr_Occurred())
+            return NULL;
+    }
+    long long rem = -1;
+    if (maxev_o != Py_None) {
+        rem = PyLong_AsLongLong(maxev_o);
+        if (rem == -1 && PyErr_Occurred())
+            return NULL;
+    }
+
+    Ctx c;
+    memset(&c, 0, sizeof(c));
+    c.k = k;
+    c.eng = eng;
+
+    PyObject *st = NULL, *net = NULL, *fm = NULL;
+    long long executed = 0;
+    int failed = 0;
+    double t = 0.0;
+
+    st = PyObject_GetAttr(eng, str_st);
+    if (st == NULL)
+        goto fail;
+    net = PyObject_GetAttr(eng, str_net);
+    if (net == NULL)
+        goto fail;
+    c.deliver = PyObject_GetAttr(net, str_deliver);
+    if (c.deliver == NULL)
+        goto fail;
+    c.nic_send = PyObject_GetAttr(eng, str_nic_try_send);
+    if (c.nic_send == NULL)
+        goto fail;
+    fm = PyObject_GetAttr(net, str_fault_manager);
+    if (fm == NULL) {
+        PyErr_Clear();
+        fm = Py_None;
+        Py_INCREF(fm);
+    }
+    if (fm != Py_None) {
+        c.fm_divert = PyObject_GetAttr(fm, str_divert_tail);
+        if (c.fm_divert == NULL)
+            goto fail;
+    }
+
+#define X(name)                                                           \
+    c.name = PyObject_GetAttrString(st, #name);                           \
+    if (c.name == NULL)                                                   \
+        goto fail;
+    CTX_LISTS(X)
+#undef X
+
+    {
+        PyObject *v;
+#define GETL(dst, name)                                                   \
+        v = PyObject_GetAttrString(st, name);                             \
+        if (v == NULL)                                                    \
+            goto fail;                                                    \
+        dst = PyLong_AsLong(v);                                           \
+        Py_DECREF(v);                                                     \
+        if (dst == -1 && PyErr_Occurred())                                \
+            goto fail;
+#define GETD(dst, name)                                                   \
+        v = PyObject_GetAttrString(st, name);                             \
+        if (v == NULL)                                                    \
+            goto fail;                                                    \
+        dst = PyFloat_AsDouble(v);                                        \
+        Py_DECREF(v);                                                     \
+        if (dst == -1.0 && PyErr_Occurred())                              \
+            goto fail;
+        GETL(c.V, "V")
+        GETL(c.OQ_CAP, "OQ_CAP")
+        GETD(c.SER, "SER")
+        GETD(c.LINK, "LINK")
+        GETD(c.SWITCH, "SWITCH")
+        GETD(c.SL, "SL")
+        v = PyObject_GetAttrString(st, "g_pkt_bytes");
+        if (v == NULL)
+            goto fail;
+        c.PKTB = (v == Py_None) ? 0 : PyLong_AsLong(v);
+        Py_DECREF(v);
+        if (c.PKTB == -1 && PyErr_Occurred())
+            goto fail;
+#undef GETL
+#undef GETD
+
+        v = PyObject_GetAttr(eng, str_now);
+        if (v == NULL)
+            goto fail;
+        t = PyFloat_AsDouble(v);
+        Py_DECREF(v);
+        if (t == -1.0 && PyErr_Occurred())
+            goto fail;
+        v = PyObject_GetAttr(eng, str_seq);
+        if (v == NULL)
+            goto fail;
+        c.seq = PyLong_AsLongLong(v);
+        Py_DECREF(v);
+        if (c.seq == -1 && PyErr_Occurred())
+            goto fail;
+    }
+
+    {
+        double t_run0 = mono_ns();
+        while (k->size) {
+            Event *top = &k->heap[0];
+            if (top->t > cap || rem == 0)
+                break;
+            Event ev = heap_pop_ev(k);
+            t = ev.t;
+            rem -= 1;
+            executed += 1;
+            k->op_counts[ev.op] += 1;
+            if ((executed & 0x3FFF) == 0 && PyErr_CheckSignals() < 0) {
+                failed = 1;
+                break;
+            }
+            int rc;
+            switch (ev.op) {
+            case OP_RECV:
+                rc = do_recv(&c, t, ev.seq, ev.a, ev.b, ev.c);
+                break;
+            case OP_ENTER:
+                rc = do_enter(&c, t, ev.seq, ev.a, ev.b, ev.c);
+                break;
+            case OP_PWAKE:
+                rc = do_pwake(&c, t, ev.seq, ev.a);
+                break;
+            case OP_DELIVER:
+                rc = do_deliver(&c, t, ev.seq, ev.c);
+                break;
+            case OP_NWAKE:
+                rc = do_nwake(&c, t, ev.seq, ev.a);
+                break;
+            case OP_GEN:
+                rc = do_gen(&c, t, ev.seq, ev.a);
+                break;
+            case OP_CALL:
+                rc = do_call(&c, t, ev.seq, ev.fn, ev.args);
+                Py_DECREF(ev.fn);
+                Py_DECREF(ev.args);
+                break;
+            default:
+                PyErr_Format(PyExc_RuntimeError,
+                             "kernel: unknown opcode %d", ev.op);
+                rc = -1;
+                break;
+            }
+            if (rc < 0) {
+                failed = 1;
+                break;
+            }
+        }
+        k->run_ns += mono_ns() - t_run0;
+        k->runs += 1;
+    }
+
+    goto sync;
+
+fail:
+    failed = 1;
+
+sync:
+    /* Mirror the Python loop's ``finally``: write back clock, sequence
+     * counter and the executed-event total even on error. */
+    {
+        PyObject *exc_type = NULL, *exc_val = NULL, *exc_tb = NULL;
+        if (failed)
+            PyErr_Fetch(&exc_type, &exc_val, &exc_tb);
+        PyObject *v = PyFloat_FromDouble(t);
+        if (v != NULL) {
+            if (PyObject_SetAttr(eng, str_now, v) < 0)
+                failed = 1;
+            Py_DECREF(v);
+        } else {
+            failed = 1;
+        }
+        v = PyLong_FromLongLong(c.seq);
+        if (v != NULL) {
+            if (PyObject_SetAttr(eng, str_seq, v) < 0)
+                failed = 1;
+            Py_DECREF(v);
+        } else {
+            failed = 1;
+        }
+        PyObject *ee = PyObject_GetAttr(eng, str_events_executed);
+        if (ee != NULL) {
+            long long e0 = PyLong_AsLongLong(ee);
+            Py_DECREF(ee);
+            if (!(e0 == -1 && PyErr_Occurred())) {
+                v = PyLong_FromLongLong(e0 + executed);
+                if (v != NULL) {
+                    if (PyObject_SetAttr(eng, str_events_executed, v) < 0)
+                        failed = 1;
+                    Py_DECREF(v);
+                } else {
+                    failed = 1;
+                }
+            } else {
+                failed = 1;
+            }
+        } else {
+            failed = 1;
+        }
+        if (exc_type != NULL)
+            PyErr_Restore(exc_type, exc_val, exc_tb);
+        else if (failed && !PyErr_Occurred())
+            PyErr_SetString(PyExc_RuntimeError,
+                            "kernel: engine sync failed after run");
+    }
+
+#define X(name) Py_XDECREF(c.name);
+    CTX_LISTS(X)
+#undef X
+    Py_XDECREF(c.deliver);
+    Py_XDECREF(c.nic_send);
+    Py_XDECREF(c.fm_divert);
+    Py_XDECREF(fm);
+    Py_XDECREF(net);
+    Py_XDECREF(st);
+
+    if (failed)
+        return NULL;
+    return PyLong_FromLongLong(executed);
+}
+
+static void
+kernel_drop_events(Kernel *k)
+{
+    for (Py_ssize_t i = 0; i < k->size; i++) {
+        Py_XDECREF(k->heap[i].fn);
+        Py_XDECREF(k->heap[i].args);
+    }
+    k->size = 0;
+}
+
+static PyObject *
+Kernel_clear(Kernel *k, PyObject *Py_UNUSED(ignored))
+{
+    kernel_drop_events(k);
+    memset(k->op_counts, 0, sizeof(k->op_counts));
+    memset(k->esc_counts, 0, sizeof(k->esc_counts));
+    memset(k->esc_ns, 0, sizeof(k->esc_ns));
+    k->run_ns = 0.0;
+    k->runs = 0;
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+Kernel_pending(Kernel *k, PyObject *Py_UNUSED(ignored))
+{
+    return PyLong_FromSsize_t(k->size);
+}
+
+static PyObject *
+Kernel_peek_time(Kernel *k, PyObject *Py_UNUSED(ignored))
+{
+    if (k->size == 0)
+        Py_RETURN_NONE;
+    return PyFloat_FromDouble(k->heap[0].t);
+}
+
+static PyObject *
+Kernel_events(Kernel *k, PyObject *Py_UNUSED(ignored))
+{
+    /* All queued event records as engine-format tuples, in no
+     * particular order (audits; mirrors BatchedEngine.iter_pending). */
+    PyObject *out = PyList_New(k->size);
+    if (out == NULL)
+        return NULL;
+    for (Py_ssize_t i = 0; i < k->size; i++) {
+        Event *ev = &k->heap[i];
+        PyObject *rec;
+        if (ev->op == OP_CALL)
+            rec = Py_BuildValue("(dLiOOl)", ev->t, ev->seq, ev->op,
+                                ev->fn, ev->args, (long)0);
+        else
+            rec = Py_BuildValue("(dLilll)", ev->t, ev->seq, ev->op,
+                                ev->a, ev->b, ev->c);
+        if (rec == NULL) {
+            Py_DECREF(out);
+            return NULL;
+        }
+        PyList_SET_ITEM(out, i, rec);
+    }
+    return out;
+}
+
+static PyObject *
+Kernel_stats(Kernel *k, PyObject *Py_UNUSED(ignored))
+{
+    static const char *op_names[OP_COUNT] = {
+        "RECV", "ENTER", "PWAKE", "DELIVER", "NWAKE", "GEN", "CALL"};
+    static const char *esc_names[ESC_N] = {
+        "make_packet", "deliver", "call", "fault_divert"};
+    PyObject *ops = PyDict_New();
+    PyObject *escs = PyDict_New();
+    if (ops == NULL || escs == NULL)
+        goto fail;
+    unsigned long long total = 0;
+    for (int i = 0; i < OP_COUNT; i++) {
+        total += k->op_counts[i];
+        PyObject *v = PyLong_FromUnsignedLongLong(k->op_counts[i]);
+        if (v == NULL || PyDict_SetItemString(ops, op_names[i], v) < 0) {
+            Py_XDECREF(v);
+            goto fail;
+        }
+        Py_DECREF(v);
+    }
+    double esc_total_ns = 0.0;
+    for (int i = 0; i < ESC_N; i++) {
+        esc_total_ns += k->esc_ns[i];
+        PyObject *e = Py_BuildValue("{s:K,s:d}", "count", k->esc_counts[i],
+                                    "ns", k->esc_ns[i]);
+        if (e == NULL || PyDict_SetItemString(escs, esc_names[i], e) < 0) {
+            Py_XDECREF(e);
+            goto fail;
+        }
+        Py_DECREF(e);
+    }
+    {
+        PyObject *out = Py_BuildValue(
+            "{s:K,s:N,s:N,s:d,s:d,s:K}",
+            "events", total,
+            "op_counts", ops,
+            "escapes", escs,
+            "run_ns", k->run_ns,
+            "escape_ns", esc_total_ns,
+            "runs", k->runs);
+        return out; /* ops/escs references stolen by N */
+    }
+fail:
+    Py_XDECREF(ops);
+    Py_XDECREF(escs);
+    return NULL;
+}
+
+/* -- type plumbing -------------------------------------------------------- */
+
+static int
+Kernel_traverse(Kernel *k, visitproc visit, void *arg)
+{
+    for (Py_ssize_t i = 0; i < k->size; i++) {
+        Py_VISIT(k->heap[i].fn);
+        Py_VISIT(k->heap[i].args);
+    }
+    return 0;
+}
+
+static int
+Kernel_tp_clear(Kernel *k)
+{
+    kernel_drop_events(k);
+    return 0;
+}
+
+static void
+Kernel_dealloc(Kernel *k)
+{
+    PyObject_GC_UnTrack(k);
+    kernel_drop_events(k);
+    PyMem_Free(k->heap);
+    Py_TYPE(k)->tp_free((PyObject *)k);
+}
+
+static PyMethodDef Kernel_methods[] = {
+    {"push", (PyCFunction)Kernel_push, METH_VARARGS,
+     "push(t, seq, op, a, b, c): queue one event record."},
+    {"run", (PyCFunction)Kernel_run, METH_VARARGS,
+     "run(engine, until=None, max_events=None) -> executed count."},
+    {"clear", (PyCFunction)Kernel_clear, METH_NOARGS,
+     "Drop all queued events and reset profile counters."},
+    {"pending", (PyCFunction)Kernel_pending, METH_NOARGS,
+     "Number of queued events."},
+    {"peek_time", (PyCFunction)Kernel_peek_time, METH_NOARGS,
+     "Timestamp of the earliest queued event, or None."},
+    {"events", (PyCFunction)Kernel_events, METH_NOARGS,
+     "All queued event records as tuples (audits)."},
+    {"stats", (PyCFunction)Kernel_stats, METH_NOARGS,
+     "In-kernel event counts and Python-escape time split."},
+    {NULL, NULL, 0, NULL},
+};
+
+static PyTypeObject KernelType = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro.sim.vec._kernel.Kernel",
+    .tp_basicsize = sizeof(Kernel),
+    .tp_dealloc = (destructor)Kernel_dealloc,
+    .tp_flags = Py_TPFLAGS_DEFAULT | Py_TPFLAGS_HAVE_GC,
+    .tp_doc = "Compiled event heap + dispatch core for the batched backend.",
+    .tp_traverse = (traverseproc)Kernel_traverse,
+    .tp_clear = (inquiry)Kernel_tp_clear,
+    .tp_methods = Kernel_methods,
+    .tp_new = PyType_GenericNew,
+};
+
+static struct PyModuleDef kernelmodule = {
+    PyModuleDef_HEAD_INIT,
+    .m_name = "_kernel",
+    .m_doc = "Compiled event kernel for the batched simulator backend.",
+    .m_size = -1,
+};
+
+PyMODINIT_FUNC
+PyInit__kernel(void)
+{
+    if ((str_now = PyUnicode_InternFromString("now")) == NULL ||
+        (str_cs = PyUnicode_InternFromString("_cs")) == NULL ||
+        (str_seq = PyUnicode_InternFromString("_seq")) == NULL ||
+        (str_events_executed =
+             PyUnicode_InternFromString("events_executed")) == NULL ||
+        (str_st = PyUnicode_InternFromString("st")) == NULL ||
+        (str_net = PyUnicode_InternFromString("net")) == NULL ||
+        (str_deliver = PyUnicode_InternFromString("deliver")) == NULL ||
+        (str_nic_try_send =
+             PyUnicode_InternFromString("_nic_try_send")) == NULL ||
+        (str_fault_manager =
+             PyUnicode_InternFromString("fault_manager")) == NULL ||
+        (str_divert_tail = PyUnicode_InternFromString("divert_tail")) == NULL)
+        return NULL;
+
+    PyObject *collections = PyImport_ImportModule("collections");
+    if (collections == NULL)
+        return NULL;
+    PyObject *deque = PyObject_GetAttrString(collections, "deque");
+    Py_DECREF(collections);
+    if (deque == NULL)
+        return NULL;
+    m_popleft = PyObject_GetAttrString(deque, "popleft");
+    m_append = PyObject_GetAttrString(deque, "append");
+    m_rotate = PyObject_GetAttrString(deque, "rotate");
+    Py_DECREF(deque);
+    if (m_popleft == NULL || m_append == NULL || m_rotate == NULL)
+        return NULL;
+
+    if (PyType_Ready(&KernelType) < 0)
+        return NULL;
+    PyObject *m = PyModule_Create(&kernelmodule);
+    if (m == NULL)
+        return NULL;
+    Py_INCREF(&KernelType);
+    if (PyModule_AddObject(m, "Kernel", (PyObject *)&KernelType) < 0) {
+        Py_DECREF(&KernelType);
+        Py_DECREF(m);
+        return NULL;
+    }
+    return m;
+}

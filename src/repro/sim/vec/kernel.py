@@ -1,0 +1,194 @@
+"""Compiled event kernel for the batched backend.
+
+:class:`KernelEngine` subclasses :class:`~repro.sim.vec.engine.BatchedEngine`
+and replaces the pending-event calendar plus the CPython dispatch loop
+with a C extension (``repro/sim/vec/_kernel.c``): a binary heap of typed
+event structs and C opcode handlers over the *same* ``SoAState`` lists
+and deques the Python loop uses.  Everything else -- the SoA flattening,
+the NIC shims, synthetic pregeneration, the audit-based checker, the
+fault manager's cold-path mirrors -- is inherited unchanged, which is
+what keeps the kernel bit-identical to the other two backends (the
+golden conformance suite asserts it).
+
+Ordering equivalence
+====================
+
+The calendar queue and the heap pop in the same global ``(time, seq)``
+order: every push the handlers make is strictly after the currently
+executing key (sequence numbers only grow, timestamps are now + a
+positive latency), so a global-min pop sequence is unique up to ties --
+and the only same-key ties are duplicate wake records, which re-check
+state and no-op regardless of which copy runs first.
+
+Loading
+=======
+
+:func:`load_kernel` first tries a prebuilt ``repro.sim.vec._kernel``
+module (``pip install`` with a compiler present), then falls back to
+compiling the shipped C source at first use with ``cc -O2`` into a
+source-hash-keyed cache directory (``REPRO_KERNEL_CACHE``, default
+``~/.cache/repro-kernel``).  Set ``REPRO_NO_KERNEL=1`` to skip both and
+force the pure-Python batched engine -- CI uses this to keep the
+no-compiler fallback path green.  Any build/load failure is recorded in
+:data:`load_error` and surfaces as a single ``RuntimeWarning`` from
+:class:`~repro.sim.network.Network`, which then runs the batched
+backend instead.
+"""
+
+from __future__ import annotations
+
+import gc
+import hashlib
+import importlib
+import importlib.machinery
+import importlib.util
+import os
+import shlex
+import subprocess
+import sys
+import sysconfig
+from pathlib import Path
+from typing import Iterator, Optional
+
+from repro.sim.vec.engine import BatchedEngine
+
+__all__ = ["KernelEngine", "load_kernel", "load_error"]
+
+_SRC = Path(__file__).with_name("_kernel.c")
+
+#: Why the kernel failed to load (None until an attempt fails).
+load_error: Optional[str] = None
+
+_mod = None
+_attempted = False
+
+
+def _jit_build_and_load():
+    """Compile the shipped C source into a cached extension and load it."""
+    source = _SRC.read_bytes()
+    tag = hashlib.sha256(
+        source + sys.implementation.cache_tag.encode()
+    ).hexdigest()[:16]
+    cache = Path(
+        os.environ.get("REPRO_KERNEL_CACHE")
+        or Path.home() / ".cache" / "repro-kernel"
+    )
+    ext = sysconfig.get_config_var("EXT_SUFFIX") or ".so"
+    so = cache / f"_kernel-{tag}{ext}"
+    if not so.exists():
+        cache.mkdir(parents=True, exist_ok=True)
+        cc = os.environ.get("CC") or sysconfig.get_config_var("CC") or "cc"
+        cmd = shlex.split(cc)[:1] + [
+            "-O2",
+            "-fPIC",
+            "-shared",
+            f"-I{sysconfig.get_paths()['include']}",
+            f"-I{sysconfig.get_paths()['platinclude']}",
+        ]
+        if sys.platform == "darwin":
+            cmd += ["-undefined", "dynamic_lookup"]
+        tmp = so.with_name(f".{so.name}.{os.getpid()}.tmp")
+        cmd += [str(_SRC), "-o", str(tmp)]
+        proc = subprocess.run(cmd, capture_output=True, text=True)
+        if proc.returncode != 0:
+            tmp.unlink(missing_ok=True)
+            raise RuntimeError(
+                f"kernel build failed ({' '.join(cmd[:1])} exited "
+                f"{proc.returncode}): {proc.stderr.strip()[-500:]}"
+            )
+        os.replace(tmp, so)  # atomic: concurrent builders race safely
+    name = "repro.sim.vec._kernel"
+    loader = importlib.machinery.ExtensionFileLoader(name, str(so))
+    spec = importlib.util.spec_from_file_location(name, str(so), loader=loader)
+    mod = importlib.util.module_from_spec(spec)
+    loader.exec_module(mod)
+    return mod
+
+
+def load_kernel():
+    """Return the compiled ``_kernel`` module, or None (see module doc).
+
+    The first failure is cached: one process attempts one build.
+    """
+    global _mod, _attempted, load_error
+    if _attempted:
+        return _mod
+    _attempted = True
+    if os.environ.get("REPRO_NO_KERNEL"):
+        load_error = "disabled by REPRO_NO_KERNEL"
+        return None
+    try:
+        try:
+            _mod = importlib.import_module("repro.sim.vec._kernel")
+        except ImportError:
+            _mod = _jit_build_and_load()
+    except Exception as exc:  # noqa: BLE001 -- any failure means fallback
+        load_error = f"{type(exc).__name__}: {exc}"
+        _mod = None
+    return _mod
+
+
+def _reset_for_tests() -> None:
+    """Forget a cached load attempt (test hook)."""
+    global _mod, _attempted, load_error
+    _mod = None
+    _attempted = False
+    load_error = None
+
+
+class KernelEngine(BatchedEngine):
+    """BatchedEngine with the event queue and dispatch loop in C."""
+
+    backend_name = "kernel"
+
+    def __init__(self, net) -> None:
+        super().__init__(net)
+        mod = load_kernel()
+        if mod is None:
+            raise RuntimeError(f"compiled kernel unavailable: {load_error}")
+        self._k = mod.Kernel()
+
+    # Cold-path pushes (schedule/schedule_at, _nic_try_send, the fault
+    # manager's drain, setup_synthetic) all funnel through _push, so
+    # overriding it routes every event into the C heap -- including
+    # re-entrant scheduling from inside a Python escape.
+    def _push(self, t, s, op, a, b, c) -> None:
+        self._k.push(t, s, op, a, b, c)
+
+    def clear(self) -> None:
+        super().clear()
+        self._k.clear()
+
+    @property
+    def pending(self) -> int:
+        return self._k.pending()
+
+    def iter_pending(self) -> Iterator[tuple]:
+        return iter(self._k.events())
+
+    def _next_time(self) -> Optional[float]:
+        return self._k.peek_time()
+
+    def kernel_stats(self) -> dict:
+        """In-kernel event counts and the Python-escape time split."""
+        return self._k.stats()
+
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> int:
+        # Same GC fencing as the Python loop: the kernel allocates event
+        # keys and credit tuples heavily but never cycles.
+        gc_was = gc.isenabled()
+        if gc_was:
+            gc.disable()
+        try:
+            executed = self._k.run(self, until, max_events)
+        finally:
+            if gc_was:
+                gc.enable()
+        if until is not None and self.now < until:
+            nt = self._k.peek_time()
+            if nt is None or nt > until:
+                # Advance the clock to the horizon even if the queue ran
+                # dry (but not when the event budget cut the run short).
+                self.now = until
+        return executed

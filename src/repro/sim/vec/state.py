@@ -73,7 +73,8 @@ class SoAState:
         "n_wake", "n_stalls", "n_qp", "n_in", "n_cred_cap",
         # packet SoA (index = pid; slot 0 is a placeholder)
         "k_ports", "k_vcs", "k_hop", "k_obj",
-        # UGAL congestion row table: row_port[r][neighbor] -> port gid
+        # UGAL congestion row table (flat, stride NR):
+        # row_port[r * NR + neighbor] -> port gid
         "row_port",
         # object-mode ports in gid order (for utilization sync/debug)
         "obj_ports",
@@ -184,18 +185,21 @@ class SoAState:
         st.k_obj = [None]
 
         # Directed-channel row table behind UGAL-L's queue_len: the
-        # route cache's array export rebased to global port ids.
+        # route cache's flat array export rebased to global port ids
+        # (row-major, stride NR -- one multiply-indexed load per probe).
         cache = getattr(net.routing, "cache", None)
         if cache is not None and cache.topology is topo:
-            port_rows = cache.port_row_table()
+            stride, flat = cache.flat_port_row()
         else:  # routing without a shared RouteCache: derive directly
-            port_rows = [[-1] * NR for _ in range(NR)]
+            stride = NR
+            flat = [-1] * (NR * NR)
             for r in range(NR):
+                base = r * NR
                 for out_idx, neighbor in enumerate(topo.neighbors(r)):
-                    port_rows[r][neighbor] = out_idx
+                    flat[base + neighbor] = out_idx
         st.row_port = [
-            [-1 if p < 0 else st.p_off[r] + p for p in port_rows[r]]
-            for r in range(NR)
+            -1 if p < 0 else st.p_off[i // stride] + p
+            for i, p in enumerate(flat)
         ]
 
         st.g_t = st.g_d = st.g_i = None
@@ -230,9 +234,10 @@ def make_queue_len(st: SoAState):
     attributes shadow class methods, so object mode pays nothing)."""
     p_queued = st.p_queued
     row_port = st.row_port
+    stride = st.NR
 
     def queue_len(router: int, neighbor: int) -> int:
-        return p_queued[row_port[router][neighbor]]
+        return p_queued[row_port[router * stride + neighbor]]
 
     return queue_len
 

@@ -18,6 +18,7 @@ from pathlib import Path
 import pytest
 
 from repro.experiments import conformance
+from repro.sim.vec.kernel import load_kernel as _load_kernel
 
 GOLDEN = Path(__file__).parent / "golden" / "conformance.json"
 
@@ -79,6 +80,25 @@ def test_checked_batched_matches_golden(golden, case_key):
     assert not problems, "\n".join(problems)
 
 
+needs_kernel = pytest.mark.skipif(
+    _load_kernel() is None,
+    reason="compiled kernel unavailable (no compiler or REPRO_NO_KERNEL set)",
+)
+
+
+@needs_kernel
+@pytest.mark.parametrize("check", [False, True])
+@pytest.mark.parametrize("case_key", conformance.CASE_KEYS)
+def test_kernel_backend_matches_golden(golden, case_key, check):
+    # The compiled-kernel acceptance bar: every committed fingerprint is
+    # reproduced bit-identically by the C dispatch core, checked (the
+    # audit-based BatchedChecker over kernel runs) and unchecked.
+    got = conformance.run_case(case_key, check=check, backend="kernel")
+    problems = conformance.diff_fingerprints({case_key: golden[case_key]},
+                                             {case_key: got})
+    assert not problems, "\n".join(problems)
+
+
 @pytest.mark.parametrize("case_key", SPOT_CASES)
 def test_legacy_routing_matches_golden(golden, case_key):
     got = conformance.run_case(case_key, compiled=False)
@@ -112,12 +132,16 @@ def fault_golden():
     (True, "object"),
     (False, "batched"),
     (True, "batched"),
+    pytest.param(False, "kernel", marks=needs_kernel),
+    pytest.param(True, "kernel", marks=needs_kernel),
 ])
 def test_fault_case_matches_golden(fault_golden, check, backend):
     # The deterministic fault-schedule run (fail + recover + seeded
     # drip, mid-measurement) must reproduce the committed fingerprint
-    # -- delivery stream, stats AND reroute counts -- on both backends,
-    # checked and unchecked.
+    # -- delivery stream, stats AND reroute counts -- on every backend,
+    # checked and unchecked.  The kernel rows exercise the fault
+    # divert escape (ENTER on a dead port) and the fail-time drain
+    # through the engine's cold-path mirrors.
     got = conformance.run_fault_case(check=check, backend=backend)
     problems = conformance.diff_fault_fingerprint(fault_golden, got)
     assert not problems, "\n".join(problems)

@@ -16,6 +16,7 @@ import pytest
 from repro.experiments.configs import configs_for_scale
 from repro.routing import MinimalRouting
 from repro.sim import Network, SimConfig
+from repro.sim.vec.kernel import load_kernel as _load_kernel
 from repro.topology import MLFM, SlimFly
 from repro.traffic import AllToAll, UniformRandom
 from repro.workload.collectives import ring_allgather
@@ -25,6 +26,15 @@ from repro.workload.driver import run_workload
 #: engine elides bookkeeping events (fewer executed events for the same
 #: physics) and wall-clock is wall-clock.
 BACKEND_NEUTRAL_EXCLUDES = {"events", "driver_wall_s"}
+
+needs_kernel = pytest.mark.skipif(
+    _load_kernel() is None,
+    reason="compiled kernel unavailable (no compiler or REPRO_NO_KERNEL set)",
+)
+
+#: The struct-of-arrays backends: the pure-Python loop and its compiled
+#: twin.  Every equivalence/API test runs over both.
+VEC_BACKENDS = ["batched", pytest.param("kernel", marks=needs_kernel)]
 
 
 def _tiny(key: str):
@@ -45,12 +55,13 @@ def _stats_dict(stats) -> dict:
 class TestNearSaturationEquivalence:
     """Both backends must agree exactly where contention is heaviest."""
 
+    @pytest.mark.parametrize("vec_backend", VEC_BACKENDS)
     @pytest.mark.parametrize("kind", ["min", "ugal"])
     @pytest.mark.parametrize("load", [0.6, 0.95])
-    def test_sweep_matches_object(self, kind, load):
+    def test_sweep_matches_object(self, kind, load, vec_backend):
         cfg = _tiny("sf-floor")
         results = {}
-        for backend in ("object", "batched"):
+        for backend in ("object", vec_backend):
             net = _net(cfg, kind, backend)
             stats = net.run_synthetic(
                 UniformRandom(net.topology.num_nodes), load=load,
@@ -62,13 +73,14 @@ class TestNearSaturationEquivalence:
                 net.stats.ejected_total,
                 sum(nic.credit_stalls for nic in net.nics),
             )
-        assert results["object"] == results["batched"]
+        assert results["object"] == results[vec_backend]
 
-    def test_inr_heavy_load_matches_object(self):
+    @pytest.mark.parametrize("vec_backend", VEC_BACKENDS)
+    def test_inr_heavy_load_matches_object(self, vec_backend):
         # Indirect routes double the hop count and credit pressure.
         cfg = _tiny("mlfm")
         outs = []
-        for backend in ("object", "batched"):
+        for backend in ("object", vec_backend):
             net = _net(cfg, "inr", backend)
             stats = net.run_synthetic(
                 UniformRandom(net.topology.num_nodes), load=0.8,
@@ -79,11 +91,12 @@ class TestNearSaturationEquivalence:
 
 
 class TestFiniteRunsEquivalence:
+    @pytest.mark.parametrize("vec_backend", VEC_BACKENDS)
     @pytest.mark.parametrize("kind", ["min", "ugal"])
-    def test_exchange_matches_object(self, kind):
+    def test_exchange_matches_object(self, kind, vec_backend):
         cfg = _tiny("sf-floor")
         results = []
-        for backend in ("object", "batched"):
+        for backend in ("object", vec_backend):
             net = _net(cfg, kind, backend)
             res = net.run_exchange(
                 AllToAll(net.topology.num_nodes, message_bytes=512)
@@ -93,10 +106,11 @@ class TestFiniteRunsEquivalence:
             )
         assert results[0] == results[1]
 
-    def test_workload_matches_object(self):
+    @pytest.mark.parametrize("vec_backend", VEC_BACKENDS)
+    def test_workload_matches_object(self, vec_backend):
         cfg = _tiny("sf-floor")
         results = []
-        for backend in ("object", "batched"):
+        for backend in ("object", vec_backend):
             net = _net(cfg, "ugal", backend)
             wl = ring_allgather(ranks=min(16, net.topology.num_nodes),
                                 message_bytes=2048)
@@ -121,13 +135,14 @@ class TestFiniteRunsEquivalence:
 
 
 class TestCheckedBatchedRuns:
+    @pytest.mark.parametrize("backend", VEC_BACKENDS)
     @pytest.mark.parametrize("seed", [0, 3])
-    def test_unstructured_topology_audits_pass(self, seed):
+    def test_unstructured_topology_audits_pass(self, seed, backend):
         # Random-ish structure off the paper's beaten path: MLFM with a
         # different height plus a SlimFly, both under the audit checker.
         topo = MLFM(4) if seed % 2 == 0 else SlimFly(5, "floor")
         net = Network(topo, MinimalRouting(topo, seed=seed),
-                      SimConfig(check=True, backend="batched"))
+                      SimConfig(check=True, backend=backend))
         net.run_synthetic(
             UniformRandom(topo.num_nodes), load=0.5,
             warmup_ns=300.0, measure_ns=1200.0, seed=seed, drain=True,
@@ -148,15 +163,16 @@ class TestCheckedBatchedRuns:
         assert net.checker.history.appended >= net.checker.injected
 
 
+@pytest.mark.parametrize("backend", VEC_BACKENDS)
 class TestEngineAPI:
-    def _engine(self):
+    def _engine(self, backend):
         topo = MLFM(4)
         net = Network(topo, MinimalRouting(topo, seed=0),
-                      SimConfig(backend="batched"))
+                      SimConfig(backend=backend))
         return net.engine
 
-    def test_schedule_and_ordering(self):
-        eng = self._engine()
+    def test_schedule_and_ordering(self, backend):
+        eng = self._engine(backend)
         seen = []
         eng.schedule(5.0, seen.append, "b")
         eng.schedule(1.0, seen.append, "a")
@@ -167,15 +183,15 @@ class TestEngineAPI:
         assert eng.now == 5.0
         assert eng.pending == 0
 
-    def test_schedule_at_past_raises(self):
-        eng = self._engine()
+    def test_schedule_at_past_raises(self, backend):
+        eng = self._engine(backend)
         eng.schedule_at(10.0, lambda: None)
         eng.run()
         with pytest.raises(ValueError):
             eng.schedule_at(5.0, lambda: None)
 
-    def test_until_advances_clock_without_executing_future(self):
-        eng = self._engine()
+    def test_until_advances_clock_without_executing_future(self, backend):
+        eng = self._engine(backend)
         seen = []
         eng.schedule_at(100.0, seen.append, "late")
         executed = eng.run(until=50.0)
@@ -185,8 +201,8 @@ class TestEngineAPI:
         eng.run()
         assert seen == ["late"] and eng.now == 100.0
 
-    def test_max_events_budget(self):
-        eng = self._engine()
+    def test_max_events_budget(self, backend):
+        eng = self._engine(backend)
         seen = []
         for i in range(5):
             eng.schedule_at(float(i + 1), seen.append, i)
@@ -195,16 +211,17 @@ class TestEngineAPI:
         assert eng.run() == 3
         assert seen == [0, 1, 2, 3, 4]
 
-    def test_clear_resets(self):
-        eng = self._engine()
+    def test_clear_resets(self, backend):
+        eng = self._engine(backend)
         eng.schedule_at(1.0, lambda: None)
         eng.clear()
         assert eng.pending == 0 and eng.now == 0.0
         assert eng.run() == 0
 
-    def test_sparse_far_future_event(self):
-        # Exercises the calendar queue's empty-bucket skip path.
-        eng = self._engine()
+    def test_sparse_far_future_event(self, backend):
+        # Exercises the calendar queue's empty-bucket skip path (and the
+        # kernel heap's long-gap pop).
+        eng = self._engine(backend)
         seen = []
         eng.schedule_at(0.5, seen.append, "near")
         eng.schedule_at(1_000_000.0, seen.append, "far")
@@ -218,9 +235,10 @@ class TestConfigValidation:
         with pytest.raises(ValueError):
             SimConfig(backend="vectorised")
 
-    def test_backend_flows_through_orchestrate_config_dict(self):
+    @pytest.mark.parametrize("backend", ["batched", "kernel"])
+    def test_backend_flows_through_orchestrate_config_dict(self, backend):
         from repro.orchestrate.job import sim_config_dict
 
-        d = sim_config_dict(SimConfig(backend="batched"))
-        assert d["backend"] == "batched"
-        assert SimConfig(**d).backend == "batched"
+        d = sim_config_dict(SimConfig(backend=backend))
+        assert d["backend"] == backend
+        assert SimConfig(**d).backend == backend
