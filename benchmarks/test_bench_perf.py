@@ -62,14 +62,16 @@ BATCHED_SPEEDUP_FLOOR = 0.8
 
 #: Wall-clock floor for the compiled kernel relative to the object
 #: engine on the saturation bench (the acceptance gate of the kernel
-#: PR).  Measured reality (gcc -O2, CPython 3.11, 2026-08): ~2.4x on
-#: UGAL/Slim Fly; the remainder to the 5-10x aspiration is Amdahl-bound
-#: in the Python boundary escapes (routing + RNG + delivery stats),
-#: which the kernel shares with every backend -- see docs/PERFORMANCE.md
+#: PR).  Measured reality (gcc -O2, CPython 3.11, 2026-08): ~4.3x on
+#: UGAL/Slim Fly with the C route-selection and delivery-accounting
+#: fast paths live (~2.4x before them, when every make_packet/deliver
+#: escaped to Python per packet).  The remaining gap to the 5-10x
+#: aspiration is Amdahl-bound in the cold-path escapes (scheduled
+#: CALLs, cache-row refills under faults) -- see docs/PERFORMANCE.md
 #: for the measured escape split.  Only enforced when
 #: ``REPRO_PERF_BASELINE`` is set (the CI perf-smoke job): shared
 #: runners without that gate still record the number but don't fail.
-KERNEL_SPEEDUP_FLOOR = 2.0
+KERNEL_SPEEDUP_FLOOR = 3.5
 
 
 def _force_mode(routing, compiled: bool):

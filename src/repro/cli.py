@@ -218,22 +218,33 @@ def _print_kernel_profile(net) -> None:
         return
     s = stats_fn()
     esc_ns = s["escape_ns"]
-    run_ns = s["run_ns"] or 1.0
-    in_kernel_ns = run_ns - esc_ns
+    run_ns = s["run_ns"]
+    # A run that never entered the kernel (or a fully-fast one with no
+    # escapes) must still print a well-formed table: guard the percent
+    # denominator and say explicitly when the escape set is empty.
+    denom = run_ns or 1.0
+    in_kernel_ns = max(run_ns - esc_ns, 0.0)
     print("--- kernel escape split ---", file=sys.stderr)
     print(
         f"in-kernel: {s['events']} events, {in_kernel_ns / 1e6:.1f} ms "
-        f"({100.0 * in_kernel_ns / run_ns:.1f}% of kernel run time)",
+        f"({100.0 * in_kernel_ns / denom:.1f}% of kernel run time)",
         file=sys.stderr,
     )
-    for name, e in sorted(
-        s["escapes"].items(), key=lambda kv: kv[1]["ns"], reverse=True
-    ):
-        if not e["count"]:
-            continue
+    for name, f in sorted(s.get("fast_path", {}).items()):
+        print(
+            f"fast-path {name}: {f['count']} packets handled in C",
+            file=sys.stderr,
+        )
+    fired = [
+        (name, e) for name, e in s["escapes"].items() if e["count"]
+    ]
+    if not fired:
+        print("escapes: none", file=sys.stderr)
+        return
+    for name, e in sorted(fired, key=lambda kv: kv[1]["ns"], reverse=True):
         print(
             f"escape {name}: {e['count']} calls, {e['ns'] / 1e6:.1f} ms "
-            f"({100.0 * e['ns'] / run_ns:.1f}%)",
+            f"({100.0 * e['ns'] / denom:.1f}%)",
             file=sys.stderr,
         )
 

@@ -172,6 +172,23 @@ class RouteCache:
             self._composed[key] = cached
         return cached
 
+    def compose_or_none(
+        self, first_leg: RouterPath, second_leg: RouterPath
+    ) -> Optional[Route]:
+        """:meth:`compose`, with :class:`NoRouteError` mapped to ``None``.
+
+        The compiled kernel's UGAL fast path calls this for its winning
+        leg pair so the degraded-adjacency VC-overflow case (the only
+        way compose fails) becomes a plain minimal-fallback branch in C
+        instead of an exception round-trip; the semantics are exactly
+        the ``except NoRouteError: return minimal`` in
+        :meth:`repro.routing.ugal.UGALRouting.route`.
+        """
+        try:
+            return self.compose(first_leg, second_leg)
+        except NoRouteError:
+            return None
+
     def ensure_leg_row(self, a: int) -> List[Optional[Tuple[RouterPath, ...]]]:
         """The (possibly empty) leg row for source *a*, creating it."""
         row = self.leg_rows[a]

@@ -172,6 +172,9 @@ class InvariantChecker:
         # enough that a deadlock is reported promptly.
         step = cfg.switch_latency_ns + cfg.packet_time_ns + cfg.link_latency_ns
         self._watchdog_period_ns = max(step * 16.0, 1.0)
+        # Wrapping both seams is also what gates the kernel backend's C
+        # fast paths off (KernelEngine._fastpath_spec checks
+        # net.checker): a checked run must see every packet in Python.
         self._orig_make_packet = net.make_packet
         self._orig_deliver = net.deliver
         net.make_packet = self._checked_make_packet

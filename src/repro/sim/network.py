@@ -225,7 +225,14 @@ class Network:
         msg_id: Optional[int],
         gen_time: float,
     ) -> Packet:
-        """Route and materialise one packet (called by the NIC at send time)."""
+        """Route and materialise one packet (called by the NIC at send time).
+
+        The kernel backend mirrors this method in C for the compiled
+        routing implementations (``fast_nic_send`` in
+        ``repro/sim/vec/_kernel.c``, golden- and fuzz-gated); changes
+        to routing dispatch, packet construction or inject accounting
+        here must be reflected there.
+        """
         topo = self.topology
         node_router = topo.router_of
         route = self.routing.route(node_router(src_node), node_router(dst_node), self)
@@ -330,7 +337,14 @@ class Network:
         self._delivery_listeners.append(fn)
 
     def deliver(self, pkt: Packet) -> None:
-        """Final hop: the packet reaches its destination node."""
+        """Final hop: the packet reaches its destination node.
+
+        The kernel backend mirrors the stats accounting in C when no
+        observer (tracer, listener, message tracker, checker) is
+        attached (``do_deliver`` in ``repro/sim/vec/_kernel.c``,
+        flushed via :meth:`StatsCollector.absorb_kernel`); changes
+        here must be reflected there.
+        """
         pkt.eject_time = self.clock.now
         self.stats.record_eject(pkt)
         if self.tracer is not None:

@@ -104,6 +104,55 @@ class StatsCollector:
             self.kind_counts[pkt.kind] = self.kind_counts.get(pkt.kind, 0) + 1
             self.hops_sum += pkt.num_hops
 
+    def absorb_kernel(
+        self,
+        injected: int,
+        in_window_injected: int,
+        first_inject: Optional[float],
+        ejected: int,
+        in_window_ejected: int,
+        in_window_bytes: int,
+        hops_sum: int,
+        last_eject: Optional[float],
+        latencies: list,
+        kind_counts: Optional[Dict[str, int]],
+        eject_counts: Optional[list],
+    ) -> None:
+        """Merge statistics accumulated C-side by the kernel fast paths.
+
+        The compiled kernel (:mod:`repro.sim.vec.kernel`) batches the
+        per-packet :meth:`record_inject`/:meth:`record_eject` work into
+        plain C counters and arrays, flushing them here at run end and
+        before any escape that could observe the collector mid-run.
+        Every field merges exactly: counters are additive, the
+        inject/eject timestamps combine by min/max (simulated time is
+        monotone, so this reproduces the first/last semantics of the
+        per-packet path), *latencies* arrive in exact ejection order so
+        numpy's order-sensitive pairwise mean stays bit-identical, and
+        the per-node eject counts add elementwise.
+        """
+        self.injected_total += injected
+        self.in_window_injected += in_window_injected
+        if first_inject is not None and (
+            self.first_inject is None or first_inject < self.first_inject
+        ):
+            self.first_inject = first_inject
+        self.ejected_total += ejected
+        self.in_window_ejected += in_window_ejected
+        self.in_window_bytes += in_window_bytes
+        self.hops_sum += hops_sum
+        if last_eject is not None and (
+            self.last_eject is None or last_eject > self.last_eject
+        ):
+            self.last_eject = last_eject
+        if latencies:
+            self.latencies.extend(latencies)
+        if kind_counts:
+            for kind, count in kind_counts.items():
+                self.kind_counts[kind] = self.kind_counts.get(kind, 0) + count
+        if eject_counts is not None:
+            self.eject_count_per_node += np.asarray(eject_counts, dtype=np.int64)
+
     # -- reductions ------------------------------------------------------------
 
     def window_stats(self) -> WindowStats:

@@ -43,7 +43,11 @@ enum {
 };
 
 /* Python-escape slots for the --profile split. */
-enum { ESC_MAKE = 0, ESC_DELIVER = 1, ESC_CALL = 2, ESC_DIVERT = 3, ESC_N = 4 };
+enum { ESC_MAKE = 0, ESC_DELIVER = 1, ESC_CALL = 2, ESC_DIVERT = 3,
+       ESC_FLUSH = 4, ESC_N = 5 };
+
+/* Fast-path counters (per-packet work kept fully in C). */
+enum { FAST_MAKE = 0, FAST_DELIVER = 1, FAST_N = 2 };
 
 typedef struct {
     double t;
@@ -54,6 +58,91 @@ typedef struct {
     PyObject *args; /* OP_CALL only: argument tuple (owned) */
 } Event;
 
+/* -- MT19937: a bit-exact replica of CPython's random.Random core ---------
+ *
+ * The route fast path must consume the *same* draw stream as the
+ * routing algorithms' ``random.Random`` instances: the engines'
+ * bit-identity contract pins every selection to the shared seeded
+ * stream, and escapes (scheduled CALLs that submit traffic) keep
+ * drawing from the Python objects mid-run.  So the generator state is
+ * *imported* from ``Random.getstate()`` at run start, advanced here
+ * with the reference Mersenne Twister recurrence and CPython's exact
+ * ``getrandbits``/``_randbelow`` derivations, and *exported* back via
+ * ``Random.setstate()`` at run end and around every escape that can
+ * reach the Python RNG (see ``KernelEngine._nic_try_send``).  The
+ * tempering constants and the rejection loop below must match
+ * Modules/_randommodule.c and Lib/random.py draw for draw --
+ * tests/test_kernel_rng_parity.py asserts it per draw site.
+ */
+
+#define MT_N 624
+#define MT_M 397
+#define MT_MATRIX_A 0x9908b0dfUL
+#define MT_UPPER_MASK 0x80000000UL
+#define MT_LOWER_MASK 0x7fffffffUL
+
+typedef struct {
+    uint32_t mt[MT_N];
+    int mti;
+    PyObject *obj;   /* the random.Random instance (owned while imported) */
+    PyObject *gauss; /* getstate()'s third element, round-tripped (owned) */
+} CRng;
+
+static uint32_t
+mt_next(CRng *r)
+{
+    uint32_t y;
+    static const uint32_t mag01[2] = {0x0UL, MT_MATRIX_A};
+    uint32_t *mt = r->mt;
+    if (r->mti >= MT_N) {
+        int kk;
+        for (kk = 0; kk < MT_N - MT_M; kk++) {
+            y = (mt[kk] & MT_UPPER_MASK) | (mt[kk + 1] & MT_LOWER_MASK);
+            mt[kk] = mt[kk + MT_M] ^ (y >> 1) ^ mag01[y & 0x1UL];
+        }
+        for (; kk < MT_N - 1; kk++) {
+            y = (mt[kk] & MT_UPPER_MASK) | (mt[kk + 1] & MT_LOWER_MASK);
+            mt[kk] = mt[kk + (MT_M - MT_N)] ^ (y >> 1) ^ mag01[y & 0x1UL];
+        }
+        y = (mt[MT_N - 1] & MT_UPPER_MASK) | (mt[0] & MT_LOWER_MASK);
+        mt[MT_N - 1] = mt[MT_M - 1] ^ (y >> 1) ^ mag01[y & 0x1UL];
+        r->mti = 0;
+    }
+    y = mt[r->mti++];
+    y ^= (y >> 11);
+    y ^= (y << 7) & 0x9d2c5680UL;
+    y ^= (y << 15) & 0xefc60000UL;
+    y ^= (y >> 18);
+    return y;
+}
+
+/* random.getrandbits(k) for 0 < k <= 32. */
+static inline uint32_t
+mt_getrandbits(CRng *r, int k)
+{
+    return mt_next(r) >> (32 - k);
+}
+
+/* Random._randbelow_with_getrandbits(n): k = n.bit_length() bits,
+ * rejection-sampled.  Same draw count as the Python wrapper, including
+ * the (never hot) n == 1 case that still consumes draws. */
+static long
+mt_randbelow(CRng *r, long n)
+{
+    if (n <= 0)
+        return 0; /* matches `if not n: return 0` (no draw) */
+    int k = 0;
+    unsigned long un = (unsigned long)n;
+    while (un) {
+        un >>= 1;
+        k += 1;
+    }
+    uint32_t v = mt_getrandbits(r, k);
+    while ((long)v >= n)
+        v = mt_getrandbits(r, k);
+    return (long)v;
+}
+
 typedef struct {
     PyObject_HEAD
     Event *heap;
@@ -62,14 +151,30 @@ typedef struct {
     unsigned long long op_counts[OP_COUNT];
     unsigned long long esc_counts[ESC_N];
     double esc_ns[ESC_N];
+    unsigned long long fast_counts[FAST_N];
     double run_ns;
     unsigned long long runs;
+    /* Route-fast-path residency: while a run with in-C routing is
+     * active, the routing RNG streams and the packet-id counter live
+     * here; ``handoff_out``/``handoff_in`` (called by the engine's
+     * ``_nic_try_send`` wrapper around mid-run Python sends) and the
+     * run-end sync keep the Python objects coherent. */
+    CRng rng[2];
+    int rng_n;
+    int resident;
+    long long pid;      /* C-resident Network._pid */
+    PyObject *net;      /* owned while resident (for _pid handoff) */
 } Kernel;
 
 /* Interned attribute names / deque method descriptors (module init). */
 static PyObject *str_now, *str_cs, *str_seq, *str_events_executed;
 static PyObject *str_st, *str_net, *str_deliver, *str_nic_try_send;
 static PyObject *str_fault_manager, *str_divert_tail;
+static PyObject *str_fp, *str_pid, *str_tracer, *str_msg_track;
+static PyObject *str_delivery_listeners;
+static PyObject *str_routers, *str_ports, *str_vcs, *str_kind;
+static PyObject *str_send_time, *str_eject_time, *str_dst_node;
+static PyObject *str_size, *str_gen_time;
 static PyObject *m_popleft, *m_append, *m_rotate; /* deque unbound methods */
 
 static double
@@ -78,6 +183,97 @@ mono_ns(void)
     struct timespec ts;
     clock_gettime(CLOCK_MONOTONIC, &ts);
     return (double)ts.tv_sec * 1e9 + (double)ts.tv_nsec;
+}
+
+/* -- random.Random state handoff ------------------------------------------ */
+
+/* Pull the MT state out of ``r->obj`` (a random.Random) so the fast
+ * path can continue its draw stream in C.  ``r->obj`` must already be
+ * set (owned); fills mt/mti and stashes the gauss element verbatim. */
+static int
+crng_import(CRng *r)
+{
+    PyObject *state = PyObject_CallMethod(r->obj, "getstate", NULL);
+    if (state == NULL)
+        return -1;
+    PyObject *inner = NULL;
+    int ok = 0;
+    if (PyTuple_Check(state) && PyTuple_GET_SIZE(state) == 3) {
+        long version = PyLong_AsLong(PyTuple_GET_ITEM(state, 0));
+        if (version == -1 && PyErr_Occurred())
+            PyErr_Clear();
+        inner = PyTuple_GET_ITEM(state, 1);
+        if (version == 3 && PyTuple_Check(inner) &&
+            PyTuple_GET_SIZE(inner) == MT_N + 1)
+            ok = 1;
+    }
+    if (!ok) {
+        Py_DECREF(state);
+        PyErr_SetString(PyExc_RuntimeError,
+                        "kernel: unsupported random.Random state format");
+        return -1;
+    }
+    for (int i = 0; i < MT_N; i++) {
+        unsigned long w = PyLong_AsUnsignedLong(PyTuple_GET_ITEM(inner, i));
+        if (w == (unsigned long)-1 && PyErr_Occurred()) {
+            Py_DECREF(state);
+            return -1;
+        }
+        r->mt[i] = (uint32_t)w;
+    }
+    long mti = PyLong_AsLong(PyTuple_GET_ITEM(inner, MT_N));
+    if (mti == -1 && PyErr_Occurred()) {
+        Py_DECREF(state);
+        return -1;
+    }
+    r->mti = (int)mti;
+    Py_XDECREF(r->gauss);
+    r->gauss = PyTuple_GET_ITEM(state, 2);
+    Py_INCREF(r->gauss);
+    Py_DECREF(state);
+    return 0;
+}
+
+/* Push the (possibly advanced) MT state back into ``r->obj`` via
+ * setstate, so Python-side draws resume exactly where C stopped. */
+static int
+crng_export(CRng *r)
+{
+    PyObject *inner = PyTuple_New(MT_N + 1);
+    if (inner == NULL)
+        return -1;
+    for (int i = 0; i < MT_N; i++) {
+        PyObject *w = PyLong_FromUnsignedLong((unsigned long)r->mt[i]);
+        if (w == NULL) {
+            Py_DECREF(inner);
+            return -1;
+        }
+        PyTuple_SET_ITEM(inner, i, w);
+    }
+    PyObject *w = PyLong_FromLong((long)r->mti);
+    if (w == NULL) {
+        Py_DECREF(inner);
+        return -1;
+    }
+    PyTuple_SET_ITEM(inner, MT_N, w);
+    PyObject *state = Py_BuildValue("(lNO)", 3L, inner,
+                                    r->gauss ? r->gauss : Py_None);
+    if (state == NULL)
+        return -1;
+    /* "(O)": a bare "O" would splat the state tuple as the arg list. */
+    PyObject *res = PyObject_CallMethod(r->obj, "setstate", "(O)", state);
+    Py_DECREF(state);
+    if (res == NULL)
+        return -1;
+    Py_DECREF(res);
+    return 0;
+}
+
+static void
+crng_drop(CRng *r)
+{
+    Py_CLEAR(r->obj);
+    Py_CLEAR(r->gauss);
 }
 
 /* -- binary heap ---------------------------------------------------------- */
@@ -267,9 +463,9 @@ dq_first_key(PyObject *dq, double *t, long long *s)
     X(p_oqtot) X(p_pend) X(p_dest_in) X(p_has_cred) X(p_dead)             \
     X(pv_oq) X(pv_occ) X(pv_cred) X(pv_arr) X(iv_q)                       \
     X(n_q) X(n_src) X(n_cred) X(n_arr) X(n_busy_t) X(n_busy_s)            \
-    X(n_wake) X(n_qp)                                                     \
+    X(n_wake) X(n_qp) X(n_in) X(n_rid) X(n_stalls)                        \
     X(k_ports) X(k_vcs) X(k_hop) X(k_obj)                                 \
-    X(g_t) X(g_d) X(g_i)
+    X(g_t) X(g_d) X(g_i) X(row_port)
 
 typedef struct {
     Kernel *k;
@@ -283,6 +479,35 @@ typedef struct {
     long V, OQ_CAP, PKTB;
     double SER, LINK, SWITCH, SL;
     long long seq;
+
+    /* -- fast-path bindings (from eng._fp; see KernelEngine) -------------- */
+    int route_mode;       /* -1 off, 0 min-rand, 1 min-best, 2 INR, 3 UGAL */
+    int deliver_fast;     /* 1 = accumulate delivery stats in C */
+    long NR, NN;
+    PyObject *net;        /* borrowed from Kernel_run locals */
+    CRng *rng0, *rng1;    /* resident draw streams (into k->rng) */
+    /* route selection */
+    PyObject *packet_cls; /* Packet class */
+    PyObject *eject_ports;
+    PyObject *min_rows, *leg_rows, *composed, *selfs;
+    PyObject *minimal_fill, *leg_fill, *compose, *compose_or_none;
+    PyObject *self_route;
+    PyObject *pool;
+    long npool, nI;
+    int sf_mode, has_thr;
+    double cc, c_sf, thr_cap;
+    /* delivery accounting */
+    PyObject *stats_absorb; /* bound StatsCollector.absorb_kernel */
+    double win_start, win_end;
+    int win_has_end;
+    int stats_dirty;
+    long long a_inj, a_inj_w, a_ej, a_ej_w, a_bytes, a_hops;
+    double a_first, a_last;
+    int a_has_first, a_has_last;
+    double *a_lat;
+    Py_ssize_t a_lat_n, a_lat_cap;
+    long long *a_ejcnt;   /* length NN, or NULL when deliver fast is off */
+    PyObject *a_kinds;    /* str -> int counter dict */
 } Ctx;
 
 /* Write eng.now / eng._cs (optional) / eng._seq before an escape. */
@@ -341,6 +566,724 @@ escape_nic_send(Ctx *c, long node, double t, long long s)
         return -1;
     Py_DECREF(r);
     return sync_in(c);
+}
+
+/* -- fast-path: stats accumulation ---------------------------------------- */
+
+/* Flush the C-side inject/eject accumulators into the Python
+ * StatsCollector (absorb_kernel).  Called lazily: before any escape
+ * that could observe the collector mid-run (deliver/CALL/divert) and
+ * at run end.  Resets the accumulators on success. */
+static int
+stats_flush(Ctx *c)
+{
+    if (!c->stats_dirty)
+        return 0;
+    double t0 = mono_ns();
+    PyObject *lat = NULL, *first = NULL, *last = NULL, *ejcnt = NULL;
+    PyObject *res = NULL;
+    int rc = -1;
+
+    lat = PyList_New(c->a_lat_n);
+    if (lat == NULL)
+        goto done;
+    for (Py_ssize_t i = 0; i < c->a_lat_n; i++) {
+        PyObject *f = PyFloat_FromDouble(c->a_lat[i]);
+        if (f == NULL)
+            goto done;
+        PyList_SET_ITEM(lat, i, f);
+    }
+    if (c->a_has_first) {
+        first = PyFloat_FromDouble(c->a_first);
+    } else {
+        first = Py_None;
+        Py_INCREF(first);
+    }
+    if (first == NULL)
+        goto done;
+    if (c->a_has_last) {
+        last = PyFloat_FromDouble(c->a_last);
+    } else {
+        last = Py_None;
+        Py_INCREF(last);
+    }
+    if (last == NULL)
+        goto done;
+    if (c->a_ej > 0 && c->a_ejcnt != NULL) {
+        ejcnt = PyList_New((Py_ssize_t)c->NN);
+        if (ejcnt == NULL)
+            goto done;
+        for (long i = 0; i < c->NN; i++) {
+            PyObject *v = PyLong_FromLongLong(c->a_ejcnt[i]);
+            if (v == NULL)
+                goto done;
+            PyList_SET_ITEM(ejcnt, (Py_ssize_t)i, v);
+        }
+    } else {
+        ejcnt = Py_None;
+        Py_INCREF(ejcnt);
+    }
+    res = PyObject_CallFunction(
+        c->stats_absorb, "LLOLLLLOOOO",
+        c->a_inj, c->a_inj_w, first, c->a_ej, c->a_ej_w, c->a_bytes,
+        c->a_hops, last, lat, c->a_kinds ? c->a_kinds : Py_None, ejcnt);
+    if (res == NULL)
+        goto done;
+    c->a_inj = c->a_inj_w = c->a_ej = c->a_ej_w = 0;
+    c->a_bytes = c->a_hops = 0;
+    c->a_has_first = c->a_has_last = 0;
+    c->a_lat_n = 0;
+    if (c->a_kinds != NULL)
+        PyDict_Clear(c->a_kinds);
+    if (c->a_ejcnt != NULL)
+        memset(c->a_ejcnt, 0, (size_t)c->NN * sizeof(long long));
+    c->stats_dirty = 0;
+    rc = 0;
+done:
+    Py_XDECREF(res);
+    Py_XDECREF(ejcnt);
+    Py_XDECREF(last);
+    Py_XDECREF(first);
+    Py_XDECREF(lat);
+    c->k->esc_ns[ESC_FLUSH] += mono_ns() - t0;
+    c->k->esc_counts[ESC_FLUSH] += 1;
+    return rc;
+}
+
+static int
+lat_push(Ctx *c, double v)
+{
+    if (c->a_lat_n >= c->a_lat_cap) {
+        Py_ssize_t ncap = c->a_lat_cap ? c->a_lat_cap * 2 : 4096;
+        double *nl = (double *)PyMem_Realloc(c->a_lat,
+                                             (size_t)ncap * sizeof(double));
+        if (nl == NULL) {
+            PyErr_NoMemory();
+            return -1;
+        }
+        c->a_lat = nl;
+        c->a_lat_cap = ncap;
+    }
+    c->a_lat[c->a_lat_n++] = v;
+    return 0;
+}
+
+static int
+kind_incr(Ctx *c, PyObject *kind)
+{
+    PyObject *cur = PyDict_GetItemWithError(c->a_kinds, kind);
+    if (cur == NULL && PyErr_Occurred())
+        return -1;
+    PyObject *nv = PyLong_FromLong(cur ? PyLong_AsLong(cur) + 1 : 1);
+    if (nv == NULL)
+        return -1;
+    int rc = PyDict_SetItem(c->a_kinds, kind, nv);
+    Py_DECREF(nv);
+    return rc;
+}
+
+/* Re-check the deliver-fast preconditions after an escape that ran
+ * arbitrary Python (CALL, divert): a callback may have attached a
+ * tracer / delivery listener / message tracker mid-run.  Disable-only:
+ * once off it stays off for the rest of the run (re-enabling would
+ * need a flush fence for no measurable gain). */
+static int
+refresh_deliver_fast(Ctx *c)
+{
+    if (!c->deliver_fast)
+        return 0;
+    int ok = 1;
+    PyObject *v = PyObject_GetAttr(c->net, str_tracer);
+    if (v == NULL)
+        return -1;
+    if (v != Py_None)
+        ok = 0;
+    Py_DECREF(v);
+    if (ok) {
+        v = PyObject_GetAttr(c->net, str_msg_track);
+        if (v == NULL)
+            return -1;
+        if (v != Py_None)
+            ok = 0;
+        Py_DECREF(v);
+    }
+    if (ok) {
+        v = PyObject_GetAttr(c->net, str_delivery_listeners);
+        if (v == NULL)
+            return -1;
+        Py_ssize_t n = PyObject_Size(v);
+        Py_DECREF(v);
+        if (n < 0)
+            return -1;
+        if (n > 0)
+            ok = 0;
+    }
+    if (!ok) {
+        if (stats_flush(c) < 0)
+            return -1;
+        c->deliver_fast = 0;
+    }
+    return 0;
+}
+
+/* -- fast-path: route selection ------------------------------------------- */
+
+/* Output-queue depth at router *u*'s port toward *v* (RouteCache's
+ * flat row_port gid table + live p_queued), as queue_len() computes. */
+static inline long
+fp_qlen(Ctx *c, long u, long v)
+{
+    long gid = ivald(c->row_port, u * c->NR + v);
+    return ivald(c->p_queued, gid);
+}
+
+/* Minimal candidate tuple for (sr, dr): memo row hit or cold
+ * minimal_fill call (BFS refill under faults; no RNG draws).  New ref. */
+static PyObject *
+fp_min_candidates(Ctx *c, long sr, long dr)
+{
+    PyObject *row = PyList_GET_ITEM(c->min_rows, (Py_ssize_t)sr);
+    if (row != Py_None) {
+        PyObject *cands = PyList_GET_ITEM(row, (Py_ssize_t)dr);
+        if (cands != Py_None) {
+            Py_INCREF(cands);
+            return cands;
+        }
+    }
+    return PyObject_CallFunction(c->minimal_fill, "ll", sr, dr);
+}
+
+/* Same for the Valiant leg table. */
+static PyObject *
+fp_leg_candidates(Ctx *c, long a, long b)
+{
+    PyObject *row = PyList_GET_ITEM(c->leg_rows, (Py_ssize_t)a);
+    if (row != Py_None) {
+        PyObject *cands = PyList_GET_ITEM(row, (Py_ssize_t)b);
+        if (cands != Py_None) {
+            Py_INCREF(cands);
+            return cands;
+        }
+    }
+    return PyObject_CallFunction(c->leg_fill, "ll", a, b);
+}
+
+/* One leg pick: single candidate or a randbelow draw on *rng*. */
+static PyObject *
+fp_pick_leg(Ctx *c, long a, long b, CRng *rng)
+{
+    PyObject *cands = fp_leg_candidates(c, a, b);
+    if (cands == NULL)
+        return NULL;
+    Py_ssize_t n = PyTuple_GET_SIZE(cands);
+    PyObject *leg = PyTuple_GET_ITEM(
+        cands, n == 1 ? 0 : (Py_ssize_t)mt_randbelow(rng, (long)n));
+    Py_INCREF(leg);
+    Py_DECREF(cands);
+    return leg;
+}
+
+/* Rejection-sample an intermediate router != src, dst (the Python
+ * loop in IndirectRandomRouting/UGALRouting._pick_intermediate). */
+static inline long
+fp_pick_intermediate(Ctx *c, long sr, long dr, CRng *rng)
+{
+    for (;;) {
+        long i = mt_randbelow(rng, c->npool);
+        long inter = PyLong_AsLong(PyList_GET_ITEM(c->pool, (Py_ssize_t)i));
+        if (inter != sr && inter != dr)
+            return inter;
+    }
+}
+
+/* Composed-route memo probe.  *out gets a new ref on hit, NULL on
+ * miss; returns -1 only on error. */
+static int
+fp_composed_lookup(Ctx *c, PyObject *first, PyObject *second, PyObject **out)
+{
+    PyObject *key = PyTuple_Pack(2, first, second);
+    if (key == NULL)
+        return -1;
+    PyObject *r = PyDict_GetItemWithError(c->composed, key);
+    Py_DECREF(key);
+    if (r != NULL) {
+        Py_INCREF(r);
+        *out = r;
+        return 0;
+    }
+    if (PyErr_Occurred())
+        return -1;
+    *out = NULL;
+    return 0;
+}
+
+/* MinimalRouting.route (compiled): random selection draws on *rng*,
+ * best selection scans for the first strict queue-length minimum. */
+static PyObject *
+fp_route_minimal(Ctx *c, long sr, long dr, CRng *rng, int best)
+{
+    PyObject *cands = fp_min_candidates(c, sr, dr);
+    if (cands == NULL)
+        return NULL;
+    Py_ssize_t n = PyTuple_GET_SIZE(cands);
+    PyObject *route = NULL;
+    if (n == 1) {
+        route = PyTuple_GET_ITEM(cands, 0);
+        Py_INCREF(route);
+    } else if (!best) {
+        route = PyTuple_GET_ITEM(cands,
+                                 (Py_ssize_t)mt_randbelow(rng, (long)n));
+        Py_INCREF(route);
+    } else {
+        long best_q = 0;
+        for (Py_ssize_t i = 0; i < n; i++) {
+            PyObject *cand = PyTuple_GET_ITEM(cands, i);
+            PyObject *routers = PyObject_GetAttr(cand, str_routers);
+            if (routers == NULL) {
+                Py_XDECREF(route);
+                Py_DECREF(cands);
+                return NULL;
+            }
+            long q = 0;
+            if (PyTuple_GET_SIZE(routers) > 1) {
+                long r0 = PyLong_AsLong(PyTuple_GET_ITEM(routers, 0));
+                long r1 = PyLong_AsLong(PyTuple_GET_ITEM(routers, 1));
+                q = fp_qlen(c, r0, r1);
+            }
+            Py_DECREF(routers);
+            if (route == NULL || q < best_q) {
+                Py_XDECREF(route);
+                route = cand;
+                Py_INCREF(route);
+                best_q = q;
+            }
+        }
+    }
+    Py_DECREF(cands);
+    return route;
+}
+
+/* IndirectRandomRouting.route (compiled).  NoRouteError from compose
+ * propagates, exactly as in Python. */
+static PyObject *
+fp_route_inr(Ctx *c, long sr, long dr)
+{
+    if (sr == dr) {
+        PyObject *key = PyLong_FromLong(sr);
+        if (key == NULL)
+            return NULL;
+        PyObject *r = PyDict_GetItemWithError(c->selfs, key);
+        Py_DECREF(key);
+        if (r != NULL) {
+            Py_INCREF(r);
+            return r;
+        }
+        if (PyErr_Occurred())
+            return NULL;
+        return PyObject_CallFunction(c->self_route, "l", sr);
+    }
+    long inter = fp_pick_intermediate(c, sr, dr, c->rng0);
+    PyObject *first = fp_pick_leg(c, sr, inter, c->rng0);
+    if (first == NULL)
+        return NULL;
+    PyObject *second = fp_pick_leg(c, inter, dr, c->rng0);
+    if (second == NULL) {
+        Py_DECREF(first);
+        return NULL;
+    }
+    PyObject *route = NULL;
+    if (fp_composed_lookup(c, first, second, &route) < 0) {
+        Py_DECREF(first);
+        Py_DECREF(second);
+        return NULL;
+    }
+    if (route == NULL)
+        route = PyObject_CallFunctionObjArgs(c->compose, first, second, NULL);
+    Py_DECREF(first);
+    Py_DECREF(second);
+    return route;
+}
+
+/* UGALRouting.route, local variant with random minimal selection
+ * (compiled): minimal pick on rng0, indirect scoring draws on rng1,
+ * strict cost comparison (ties go minimal), VC-overflow on the winning
+ * indirect pair falls back to minimal via compose_or_none. */
+static PyObject *
+fp_route_ugal(Ctx *c, long sr, long dr)
+{
+    PyObject *minimal = fp_route_minimal(c, sr, dr, c->rng0, 0);
+    if (minimal == NULL)
+        return NULL;
+    PyObject *routers = PyObject_GetAttr(minimal, str_routers);
+    if (routers == NULL) {
+        Py_DECREF(minimal);
+        return NULL;
+    }
+    long len_min = (long)PyTuple_GET_SIZE(routers) - 1;
+    long q_min = 0;
+    if (len_min > 0) {
+        long r0 = PyLong_AsLong(PyTuple_GET_ITEM(routers, 0));
+        long r1 = PyLong_AsLong(PyTuple_GET_ITEM(routers, 1));
+        q_min = fp_qlen(c, r0, r1);
+    }
+    Py_DECREF(routers);
+    if (len_min == 0)
+        return minimal; /* self-pair: nothing to adapt */
+    if (c->has_thr && (double)q_min < c->thr_cap)
+        return minimal;
+    double best_cost = (double)q_min;
+    PyObject *best_first = NULL, *best_second = NULL;
+    for (long it = 0; it < c->nI; it++) {
+        long inter = fp_pick_intermediate(c, sr, dr, c->rng1);
+        PyObject *first = fp_pick_leg(c, sr, inter, c->rng1);
+        if (first == NULL)
+            goto err;
+        PyObject *second = fp_pick_leg(c, inter, dr, c->rng1);
+        if (second == NULL) {
+            Py_DECREF(first);
+            goto err;
+        }
+        long f0 = PyLong_AsLong(PyTuple_GET_ITEM(first, 0));
+        long f1 = PyLong_AsLong(PyTuple_GET_ITEM(first, 1));
+        long q_ind = fp_qlen(c, f0, f1);
+        double cost;
+        if (c->sf_mode) {
+            long hops = (long)(PyTuple_GET_SIZE(first) +
+                               PyTuple_GET_SIZE(second)) - 2;
+            /* Same association as the Python scoring expression so the
+             * doubles are bit-identical. */
+            cost = (((double)hops / (double)len_min) * c->c_sf) *
+                   (double)q_ind;
+        } else {
+            cost = c->cc * (double)q_ind;
+        }
+        if (cost < best_cost) {
+            best_cost = cost;
+            Py_XDECREF(best_first);
+            Py_XDECREF(best_second);
+            best_first = first;
+            best_second = second;
+        } else {
+            Py_DECREF(first);
+            Py_DECREF(second);
+        }
+    }
+    if (best_first == NULL)
+        return minimal;
+    {
+        PyObject *route = NULL;
+        if (fp_composed_lookup(c, best_first, best_second, &route) < 0)
+            goto err;
+        if (route == NULL) {
+            route = PyObject_CallFunctionObjArgs(
+                c->compose_or_none, best_first, best_second, NULL);
+            if (route == NULL)
+                goto err;
+            if (route == Py_None) {
+                Py_DECREF(route);
+                route = NULL;
+            }
+        }
+        Py_DECREF(best_first);
+        Py_DECREF(best_second);
+        if (route == NULL)
+            return minimal; /* degraded pair: VC overflow -> minimal */
+        Py_DECREF(minimal);
+        return route;
+    }
+err:
+    Py_XDECREF(best_first);
+    Py_XDECREF(best_second);
+    Py_DECREF(minimal);
+    return NULL;
+}
+
+/* -- fast-path: in-C NIC send (BatchedEngine._nic_try_send port) ----------- */
+
+static int
+fast_nic_send(Ctx *c, long node, double t, long long s)
+{
+    Kernel *k = c->k;
+    long cred = ivald(c->n_cred, node);
+    PyObject *arr = PyList_GET_ITEM(c->n_arr, (Py_ssize_t)node);
+    if (cred <= 0 && dq_len(arr) > 0) {
+        while (dq_len(arr) > 0) {
+            double at;
+            long long as;
+            if (dq_first_key(arr, &at, &as) < 0)
+                return -1;
+            if (at < t || (at == t && as <= s)) {
+                PyObject *p = dq_popleft(arr);
+                if (p == NULL)
+                    return -1;
+                Py_DECREF(p);
+                cred += 1;
+            } else {
+                break;
+            }
+        }
+        if (iset(c->n_cred, node, cred) < 0)
+            return -1;
+    }
+    PyObject *q = PyList_GET_ITEM(c->n_q, (Py_ssize_t)node);
+    if (cred <= 0) {
+        if (dq_len(q) > 0 ||
+            PyList_GET_ITEM(c->n_src, (Py_ssize_t)node) != Py_None) {
+            if (iset(c->n_stalls, node, ivald(c->n_stalls, node) + 1) < 0)
+                return -1;
+            if (dq_len(arr) > 0) {
+                double at;
+                long long as;
+                if (dq_first_key(arr, &at, &as) < 0)
+                    return -1;
+                if (kpush(k, at, as, OP_NWAKE, node, 0, 0) < 0)
+                    return -1;
+            }
+        }
+        return 0;
+    }
+
+    /* Next descriptor: queued record or pull from the source iterator. */
+    PyObject *dsto = NULL, *sizeo = NULL, *mido = NULL, *geno = NULL;
+    PyObject *route = NULL, *routers = NULL, *rports = NULL, *rvcs = NULL;
+    PyObject *kind = NULL, *ports_full = NULL, *vcs_pad = NULL;
+    PyObject *pkt = NULL;
+    int rc = -1;
+
+    if (dq_len(q) > 0) {
+        PyObject *rec = dq_popleft(q);
+        if (rec == NULL)
+            return -1;
+        if (!PyTuple_Check(rec) || PyTuple_GET_SIZE(rec) != 4) {
+            Py_DECREF(rec);
+            PyErr_SetString(PyExc_TypeError,
+                            "kernel: NIC queue record is not a 4-tuple");
+            return -1;
+        }
+        dsto = PyTuple_GET_ITEM(rec, 0);
+        sizeo = PyTuple_GET_ITEM(rec, 1);
+        mido = PyTuple_GET_ITEM(rec, 2);
+        geno = PyTuple_GET_ITEM(rec, 3);
+        Py_INCREF(dsto);
+        Py_INCREF(sizeo);
+        Py_INCREF(mido);
+        Py_INCREF(geno);
+        Py_DECREF(rec);
+        if (iset(c->n_qp, node, ivald(c->n_qp, node) - 1) < 0)
+            goto done;
+    } else {
+        PyObject *srco = PyList_GET_ITEM(c->n_src, (Py_ssize_t)node);
+        if (srco == Py_None)
+            return 0;
+        PyObject *d = PyIter_Next(srco);
+        if (d == NULL) {
+            if (PyErr_Occurred())
+                return -1;
+            /* StopIteration: source exhausted. */
+            Py_INCREF(Py_None);
+            PyObject *old = PyList_GET_ITEM(c->n_src, (Py_ssize_t)node);
+            PyList_SET_ITEM(c->n_src, (Py_ssize_t)node, Py_None);
+            Py_DECREF(old);
+            return 0;
+        }
+        PyObject *fast3 = PySequence_Fast(
+            d, "kernel: NIC source yielded a non-sequence");
+        Py_DECREF(d);
+        if (fast3 == NULL)
+            return -1;
+        if (PySequence_Fast_GET_SIZE(fast3) != 3) {
+            Py_DECREF(fast3);
+            PyErr_SetString(PyExc_ValueError,
+                            "kernel: NIC source descriptor is not a 3-tuple");
+            return -1;
+        }
+        dsto = PySequence_Fast_GET_ITEM(fast3, 0);
+        sizeo = PySequence_Fast_GET_ITEM(fast3, 1);
+        mido = PySequence_Fast_GET_ITEM(fast3, 2);
+        Py_INCREF(dsto);
+        Py_INCREF(sizeo);
+        Py_INCREF(mido);
+        Py_DECREF(fast3);
+        geno = PyFloat_FromDouble(t);
+        if (geno == NULL)
+            goto done;
+    }
+
+    {
+        long dst_node = PyLong_AsLong(dsto);
+        if (dst_node == -1 && PyErr_Occurred())
+            goto done;
+        long sr = ivald(c->n_rid, node);
+        long dr = ivald(c->n_rid, dst_node);
+        switch (c->route_mode) {
+        case 0:
+            route = fp_route_minimal(c, sr, dr, c->rng0, 0);
+            break;
+        case 1:
+            route = fp_route_minimal(c, sr, dr, NULL, 1);
+            break;
+        case 2:
+            route = fp_route_inr(c, sr, dr);
+            break;
+        default:
+            route = fp_route_ugal(c, sr, dr);
+            break;
+        }
+        if (route == NULL)
+            goto done;
+        routers = PyObject_GetAttr(route, str_routers);
+        if (routers == NULL)
+            goto done;
+        rports = PyObject_GetAttr(route, str_ports);
+        if (rports == NULL)
+            goto done;
+        rvcs = PyObject_GetAttr(route, str_vcs);
+        if (rvcs == NULL)
+            goto done;
+        kind = PyObject_GetAttr(route, str_kind);
+        if (kind == NULL)
+            goto done;
+        if (!PyTuple_Check(routers) || !PyTuple_Check(rports) ||
+            !PyTuple_Check(rvcs)) {
+            PyErr_SetString(PyExc_TypeError,
+                            "kernel: route without compiled tuple "
+                            "routers/ports/vcs");
+            goto done;
+        }
+
+        /* ports + (eject,) and vcs + (0,) exactly as Network.make_packet
+         * / the SoA append do. */
+        Py_ssize_t nh = PyTuple_GET_SIZE(rports);
+        ports_full = PyTuple_New(nh + 1);
+        if (ports_full == NULL)
+            goto done;
+        for (Py_ssize_t i = 0; i < nh; i++) {
+            PyObject *it = PyTuple_GET_ITEM(rports, i);
+            Py_INCREF(it);
+            PyTuple_SET_ITEM(ports_full, i, it);
+        }
+        {
+            PyObject *ej = PyList_GET_ITEM(c->eject_ports,
+                                           (Py_ssize_t)dst_node);
+            Py_INCREF(ej);
+            PyTuple_SET_ITEM(ports_full, nh, ej);
+        }
+        Py_ssize_t nv = PyTuple_GET_SIZE(rvcs);
+        vcs_pad = PyTuple_New(nv + 1);
+        if (vcs_pad == NULL)
+            goto done;
+        for (Py_ssize_t i = 0; i < nv; i++) {
+            PyObject *it = PyTuple_GET_ITEM(rvcs, i);
+            Py_INCREF(it);
+            PyTuple_SET_ITEM(vcs_pad, i, it);
+        }
+        {
+            PyObject *zero = PyLong_FromLong(0);
+            if (zero == NULL)
+                goto done;
+            PyTuple_SET_ITEM(vcs_pad, nv, zero);
+        }
+
+        k->pid += 1;
+        {
+            PyObject *pido = PyLong_FromLongLong(k->pid);
+            PyObject *srcn = pido ? PyLong_FromLong(node) : NULL;
+            if (srcn == NULL) {
+                Py_XDECREF(pido);
+                goto done;
+            }
+            PyObject *argv[10] = {pido, srcn, dsto, sizeo, routers,
+                                  ports_full, rvcs, kind, geno, mido};
+            pkt = PyObject_Vectorcall(c->packet_cls, argv, 10, NULL);
+            Py_DECREF(pido);
+            Py_DECREF(srcn);
+            if (pkt == NULL)
+                goto done;
+        }
+        {
+            PyObject *tf = PyFloat_FromDouble(t);
+            if (tf == NULL)
+                goto done;
+            if (PyObject_SetAttr(pkt, str_send_time, tf) < 0) {
+                Py_DECREF(tf);
+                goto done;
+            }
+            Py_DECREF(tf);
+        }
+
+        /* StatsCollector.record_inject, accumulated C-side. */
+        c->a_inj += 1;
+        if (!c->a_has_first) {
+            c->a_first = t;
+            c->a_has_first = 1;
+        }
+        if (t >= c->win_start && (!c->win_has_end || t < c->win_end))
+            c->a_inj_w += 1;
+        c->stats_dirty = 1;
+
+        if (PyList_Append(c->k_ports, ports_full) < 0 ||
+            PyList_Append(c->k_vcs, vcs_pad) < 0 ||
+            PyList_Append(c->k_obj, pkt) < 0)
+            goto done;
+        {
+            PyObject *zero = PyLong_FromLong(0);
+            if (zero == NULL)
+                goto done;
+            int ar = PyList_Append(c->k_hop, zero);
+            Py_DECREF(zero);
+            if (ar < 0)
+                goto done;
+        }
+
+        if (iset(c->n_cred, node, cred - 1) < 0)
+            goto done;
+        c->seq += 1; /* reserved: the elided NIC link-free event */
+        {
+            double bt = t + c->SER;
+            long long bs = c->seq;
+            if (fset(c->n_busy_t, node, bt) < 0 ||
+                llset(c->n_busy_s, node, bs) < 0)
+                goto done;
+            c->seq += 1;
+            if (kpush(k, t + c->SL, c->seq, OP_RECV,
+                      ivald(c->n_in, node), 0, (long)k->pid) < 0)
+                goto done;
+            if (dq_len(q) > 0 ||
+                PyList_GET_ITEM(c->n_src, (Py_ssize_t)node) != Py_None) {
+                if (kpush(k, bt, bs, OP_NWAKE, node, 0, 0) < 0)
+                    goto done;
+                bset(c->n_wake, node, 1);
+            } else {
+                bset(c->n_wake, node, 0);
+            }
+        }
+        k->fast_counts[FAST_MAKE] += 1;
+        rc = 0;
+    }
+
+done:
+    Py_XDECREF(pkt);
+    Py_XDECREF(vcs_pad);
+    Py_XDECREF(ports_full);
+    Py_XDECREF(kind);
+    Py_XDECREF(rvcs);
+    Py_XDECREF(rports);
+    Py_XDECREF(routers);
+    Py_XDECREF(route);
+    Py_XDECREF(geno);
+    Py_XDECREF(mido);
+    Py_XDECREF(sizeo);
+    Py_XDECREF(dsto);
+    return rc;
+}
+
+/* Either NIC-send path, by fast-path residency. */
+static inline int
+nic_send(Ctx *c, long node, double t, long long s)
+{
+    if (c->route_mode >= 0)
+        return fast_nic_send(c, node, t, s);
+    return escape_nic_send(c, node, t, s);
 }
 
 /* -- handler helpers (ports of the BatchedEngine.run closures) ------------ */
@@ -625,6 +1568,8 @@ do_enter(Ctx *c, double t, long long s, long pvid, long pid, long gid)
                             "dead port entered with no fault manager");
             return -1;
         }
+        if (c->stats_dirty && stats_flush(c) < 0)
+            return -1;
         if (sync_out(c, t, s, 1) < 0)
             return -1;
         double t0 = mono_ns();
@@ -634,7 +1579,7 @@ do_enter(Ctx *c, double t, long long s, long pvid, long pid, long gid)
         c->k->esc_counts[ESC_DIVERT] += 1;
         if (res == NULL)
             return -1;
-        if (sync_in(c) < 0) {
+        if (sync_in(c) < 0 || refresh_deliver_fast(c) < 0) {
             Py_DECREF(res);
             return -1;
         }
@@ -693,7 +1638,7 @@ do_gen(Ctx *c, double t, long long s, long node)
                 bset(c->n_wake, node, 1);
             }
         } else {
-            if (escape_nic_send(c, node, t, s) < 0)
+            if (nic_send(c, node, t, s) < 0)
                 return -1;
         }
     }
@@ -718,13 +1663,77 @@ do_nwake(Ctx *c, double t, long long s, long node)
     double bt = fval(c->n_busy_t, node);
     long long bs = llval(c->n_busy_s, node);
     if (!(t < bt || (t == bt && s < bs)))
-        return escape_nic_send(c, node, t, s);
+        return nic_send(c, node, t, s);
     return 0;
 }
 
 static int
 do_deliver(Ctx *c, double t, long long s, long pid)
 {
+    if (c->deliver_fast) {
+        /* Network.deliver + StatsCollector.record_eject, fully in C:
+         * stamp eject_time and fold the stats into the accumulators
+         * (flushed via absorb_kernel). */
+        PyObject *pkt = PyList_GET_ITEM(c->k_obj, pid); /* borrowed */
+        PyObject *tf = PyFloat_FromDouble(t);
+        if (tf == NULL)
+            return -1;
+        if (PyObject_SetAttr(pkt, str_eject_time, tf) < 0) {
+            Py_DECREF(tf);
+            return -1;
+        }
+        Py_DECREF(tf);
+        c->a_ej += 1;
+        c->a_last = t; /* event times are monotone: running max */
+        c->a_has_last = 1;
+        PyObject *v = PyObject_GetAttr(pkt, str_dst_node);
+        if (v == NULL)
+            return -1;
+        long dst = PyLong_AsLong(v);
+        Py_DECREF(v);
+        if (dst == -1 && PyErr_Occurred())
+            return -1;
+        c->a_ejcnt[dst] += 1;
+        if (t >= c->win_start && (!c->win_has_end || t < c->win_end)) {
+            c->a_ej_w += 1;
+            v = PyObject_GetAttr(pkt, str_size);
+            if (v == NULL)
+                return -1;
+            long long sz = PyLong_AsLongLong(v);
+            Py_DECREF(v);
+            if (sz == -1 && PyErr_Occurred())
+                return -1;
+            c->a_bytes += sz;
+            v = PyObject_GetAttr(pkt, str_gen_time);
+            if (v == NULL)
+                return -1;
+            double gt = PyFloat_AsDouble(v);
+            Py_DECREF(v);
+            if (gt == -1.0 && PyErr_Occurred())
+                return -1;
+            if (lat_push(c, t - gt) < 0)
+                return -1;
+            v = PyObject_GetAttr(pkt, str_kind);
+            if (v == NULL)
+                return -1;
+            int kr = kind_incr(c, v);
+            Py_DECREF(v);
+            if (kr < 0)
+                return -1;
+            v = PyObject_GetAttr(pkt, str_routers);
+            if (v == NULL)
+                return -1;
+            c->a_hops += (long long)PyTuple_GET_SIZE(v) - 1;
+            Py_DECREF(v);
+        }
+        c->stats_dirty = 1;
+        c->k->fast_counts[FAST_DELIVER] += 1;
+        return 0;
+    }
+    /* Escape path: flush the C accumulators first so listeners /
+     * wrapped deliver callbacks observe a coherent StatsCollector. */
+    if (c->stats_dirty && stats_flush(c) < 0)
+        return -1;
     if (sync_out(c, t, s, 1) < 0)
         return -1;
     double t0 = mono_ns();
@@ -742,6 +1751,8 @@ static int
 do_call(Ctx *c, double t, long long s, PyObject *fn, PyObject *args)
 {
     /* Caller owns fn/args and decrefs them after we return. */
+    if (c->stats_dirty && stats_flush(c) < 0)
+        return -1;
     if (sync_out(c, t, s, 1) < 0)
         return -1;
     double t0 = mono_ns();
@@ -751,7 +1762,210 @@ do_call(Ctx *c, double t, long long s, PyObject *fn, PyObject *args)
     if (r == NULL)
         return -1;
     Py_DECREF(r);
-    return sync_in(c);
+    if (sync_in(c) < 0)
+        return -1;
+    return refresh_deliver_fast(c);
+}
+
+/* -- fast-path binding / residency ---------------------------------------- */
+
+/* Bind the fast-path spec (eng._fp, a namespace KernelEngine.run
+ * computes per run; None disables).  Fills the Ctx fast-path fields
+ * and, for route mode, imports the routing RNG streams and Network
+ * packet-id counter into the Kernel (residency).  On error the caller
+ * runs the normal Ctx cleanup, which drops whatever was bound. */
+static int
+bind_fastpath(Ctx *c, PyObject *eng, PyObject *net)
+{
+    Kernel *k = c->k;
+    c->route_mode = -1;
+    c->deliver_fast = 0;
+    c->net = net; /* borrowed; outlives the run ctx */
+    PyObject *fp = PyObject_GetAttr(eng, str_fp);
+    if (fp == NULL) {
+        /* Engine without a spec (direct Kernel.run callers). */
+        PyErr_Clear();
+        return 0;
+    }
+    if (fp == Py_None) {
+        Py_DECREF(fp);
+        return 0;
+    }
+    int rc = -1;
+    PyObject *v = NULL;
+#define FPGETO(dst, name)                                                 \
+    do {                                                                  \
+        c->dst = PyObject_GetAttrString(fp, name);                        \
+        if (c->dst == NULL)                                               \
+            goto done;                                                    \
+    } while (0)
+#define FPGETL(dst, name)                                                 \
+    do {                                                                  \
+        v = PyObject_GetAttrString(fp, name);                             \
+        if (v == NULL)                                                    \
+            goto done;                                                    \
+        dst = PyLong_AsLong(v);                                           \
+        Py_CLEAR(v);                                                      \
+        if (dst == -1 && PyErr_Occurred())                                \
+            goto done;                                                    \
+    } while (0)
+#define FPGETD(dst, name)                                                 \
+    do {                                                                  \
+        v = PyObject_GetAttrString(fp, name);                             \
+        if (v == NULL)                                                    \
+            goto done;                                                    \
+        dst = PyFloat_AsDouble(v);                                        \
+        Py_CLEAR(v);                                                      \
+        if (dst == -1.0 && PyErr_Occurred())                              \
+            goto done;                                                    \
+    } while (0)
+
+    {
+        long mode, dfast, sf;
+        FPGETL(mode, "route_mode");
+        FPGETL(dfast, "deliver_fast");
+        c->route_mode = (int)mode;
+        c->deliver_fast = dfast ? 1 : 0;
+        if (c->route_mode < 0 && !c->deliver_fast) {
+            rc = 0;
+            goto done;
+        }
+        FPGETO(stats_absorb, "stats_absorb");
+        FPGETD(c->win_start, "win_start");
+        v = PyObject_GetAttrString(fp, "win_end");
+        if (v == NULL)
+            goto done;
+        if (v == Py_None) {
+            c->win_has_end = 0;
+            c->win_end = 0.0;
+        } else {
+            c->win_has_end = 1;
+            c->win_end = PyFloat_AsDouble(v);
+            if (c->win_end == -1.0 && PyErr_Occurred()) {
+                Py_CLEAR(v);
+                goto done;
+            }
+        }
+        Py_CLEAR(v);
+        if (c->deliver_fast) {
+            c->a_ejcnt = (long long *)PyMem_Calloc((size_t)c->NN,
+                                                   sizeof(long long));
+            if (c->a_ejcnt == NULL) {
+                PyErr_NoMemory();
+                goto done;
+            }
+            c->a_kinds = PyDict_New();
+            if (c->a_kinds == NULL)
+                goto done;
+        }
+        if (c->route_mode >= 0) {
+            FPGETO(packet_cls, "packet_cls");
+            FPGETO(eject_ports, "eject_ports");
+            FPGETO(min_rows, "min_rows");
+            FPGETO(leg_rows, "leg_rows");
+            FPGETO(composed, "composed");
+            FPGETO(selfs, "selfs");
+            FPGETO(minimal_fill, "minimal_fill");
+            FPGETO(leg_fill, "leg_fill");
+            FPGETO(compose, "compose");
+            FPGETO(compose_or_none, "compose_or_none");
+            FPGETO(self_route, "self_route");
+            FPGETO(pool, "pool");
+            c->npool = (c->pool != Py_None) ? (long)PyList_Size(c->pool) : 0;
+            FPGETL(c->nI, "n_indirect");
+            FPGETL(sf, "sf_mode");
+            c->sf_mode = (int)sf;
+            FPGETD(c->cc, "c");
+            FPGETD(c->c_sf, "c_sf");
+            v = PyObject_GetAttrString(fp, "thr_cap");
+            if (v == NULL)
+                goto done;
+            if (v == Py_None) {
+                c->has_thr = 0;
+                c->thr_cap = 0.0;
+            } else {
+                c->has_thr = 1;
+                c->thr_cap = PyFloat_AsDouble(v);
+                if (c->thr_cap == -1.0 && PyErr_Occurred()) {
+                    Py_CLEAR(v);
+                    goto done;
+                }
+            }
+            Py_CLEAR(v);
+
+            /* RNG + packet-id residency. */
+            PyObject *rngs = PyObject_GetAttrString(fp, "rngs");
+            if (rngs == NULL)
+                goto done;
+            Py_ssize_t nr = PyList_Size(rngs);
+            if (nr < 0 || nr > 2) {
+                Py_DECREF(rngs);
+                if (nr > 2)
+                    PyErr_SetString(PyExc_ValueError,
+                                    "kernel: at most 2 fast-path RNGs");
+                goto done;
+            }
+            for (Py_ssize_t i = 0; i < nr; i++) {
+                PyObject *obj = PyList_GET_ITEM(rngs, i);
+                Py_INCREF(obj);
+                k->rng[i].obj = obj;
+                k->rng[i].gauss = NULL;
+                if (crng_import(&k->rng[i]) < 0) {
+                    for (Py_ssize_t j = 0; j <= i; j++)
+                        crng_drop(&k->rng[j]);
+                    Py_DECREF(rngs);
+                    goto done;
+                }
+            }
+            Py_DECREF(rngs);
+            k->rng_n = (int)nr;
+            c->rng0 = &k->rng[0];
+            c->rng1 = (nr > 1) ? &k->rng[1] : &k->rng[0];
+            v = PyObject_GetAttr(net, str_pid);
+            if (v == NULL)
+                goto done;
+            k->pid = PyLong_AsLongLong(v);
+            Py_CLEAR(v);
+            if (k->pid == -1 && PyErr_Occurred())
+                goto done;
+            Py_INCREF(net);
+            k->net = net;
+            k->resident = 1;
+        }
+    }
+    rc = 0;
+done:
+#undef FPGETO
+#undef FPGETL
+#undef FPGETD
+    Py_XDECREF(v);
+    Py_DECREF(fp);
+    return rc;
+}
+
+/* End residency: push RNG streams + packet-id counter back to Python.
+ * Always drops the refs, even if an export step fails. */
+static int
+kernel_export_resident(Kernel *k)
+{
+    if (!k->resident)
+        return 0;
+    int rc = 0;
+    for (int i = 0; i < k->rng_n; i++) {
+        if (k->rng[i].obj != NULL && crng_export(&k->rng[i]) < 0)
+            rc = -1;
+        crng_drop(&k->rng[i]);
+    }
+    k->rng_n = 0;
+    if (k->net != NULL) {
+        PyObject *v = PyLong_FromLongLong(k->pid);
+        if (v == NULL || PyObject_SetAttr(k->net, str_pid, v) < 0)
+            rc = -1;
+        Py_XDECREF(v);
+    }
+    Py_CLEAR(k->net);
+    k->resident = 0;
+    return rc;
 }
 
 /* -- Kernel methods ------------------------------------------------------- */
@@ -863,6 +2077,8 @@ Kernel_run(Kernel *k, PyObject *args)
             goto fail;
         GETL(c.V, "V")
         GETL(c.OQ_CAP, "OQ_CAP")
+        GETL(c.NR, "NR")
+        GETL(c.NN, "NN")
         GETD(c.SER, "SER")
         GETD(c.LINK, "LINK")
         GETD(c.SWITCH, "SWITCH")
@@ -892,6 +2108,9 @@ Kernel_run(Kernel *k, PyObject *args)
         if (c.seq == -1 && PyErr_Occurred())
             goto fail;
     }
+
+    if (bind_fastpath(&c, eng, net) < 0)
+        goto fail;
 
     {
         double t_run0 = mono_ns();
@@ -960,6 +2179,13 @@ sync:
         PyObject *exc_type = NULL, *exc_val = NULL, *exc_tb = NULL;
         if (failed)
             PyErr_Fetch(&exc_type, &exc_val, &exc_tb);
+        /* Drain the fast-path accumulators and end residency first so
+         * the StatsCollector, routing RNGs and Network._pid are
+         * coherent even when the run is aborting on an exception. */
+        if (c.stats_dirty && stats_flush(&c) < 0)
+            failed = 1;
+        if (kernel_export_resident(k) < 0)
+            failed = 1;
         PyObject *v = PyFloat_FromDouble(t);
         if (v != NULL) {
             if (PyObject_SetAttr(eng, str_now, v) < 0)
@@ -1008,6 +2234,22 @@ sync:
     Py_XDECREF(c.deliver);
     Py_XDECREF(c.nic_send);
     Py_XDECREF(c.fm_divert);
+    Py_XDECREF(c.packet_cls);
+    Py_XDECREF(c.eject_ports);
+    Py_XDECREF(c.min_rows);
+    Py_XDECREF(c.leg_rows);
+    Py_XDECREF(c.composed);
+    Py_XDECREF(c.selfs);
+    Py_XDECREF(c.minimal_fill);
+    Py_XDECREF(c.leg_fill);
+    Py_XDECREF(c.compose);
+    Py_XDECREF(c.compose_or_none);
+    Py_XDECREF(c.self_route);
+    Py_XDECREF(c.pool);
+    Py_XDECREF(c.stats_absorb);
+    Py_XDECREF(c.a_kinds);
+    PyMem_Free(c.a_lat);
+    PyMem_Free(c.a_ejcnt);
     Py_XDECREF(fm);
     Py_XDECREF(net);
     Py_XDECREF(st);
@@ -1015,6 +2257,58 @@ sync:
     if (failed)
         return NULL;
     return PyLong_FromLongLong(executed);
+}
+
+static PyObject *
+Kernel_resident(Kernel *k, PyObject *Py_UNUSED(ignored))
+{
+    return PyBool_FromLong(k->resident);
+}
+
+/* Export the C-resident routing RNG states and packet-id counter to
+ * their Python owners without ending residency: called by the engine's
+ * ``_nic_try_send`` wrapper before a mid-run Python send so the
+ * interpreter-side draws continue the shared streams. */
+static PyObject *
+Kernel_handoff_out(Kernel *k, PyObject *Py_UNUSED(ignored))
+{
+    if (!k->resident)
+        Py_RETURN_NONE;
+    for (int i = 0; i < k->rng_n; i++) {
+        if (crng_export(&k->rng[i]) < 0)
+            return NULL;
+    }
+    PyObject *v = PyLong_FromLongLong(k->pid);
+    if (v == NULL)
+        return NULL;
+    if (PyObject_SetAttr(k->net, str_pid, v) < 0) {
+        Py_DECREF(v);
+        return NULL;
+    }
+    Py_DECREF(v);
+    Py_RETURN_NONE;
+}
+
+/* Inverse of handoff_out: re-import whatever the Python side consumed
+ * or advanced while it held the streams. */
+static PyObject *
+Kernel_handoff_in(Kernel *k, PyObject *Py_UNUSED(ignored))
+{
+    if (!k->resident)
+        Py_RETURN_NONE;
+    for (int i = 0; i < k->rng_n; i++) {
+        if (crng_import(&k->rng[i]) < 0)
+            return NULL;
+    }
+    PyObject *v = PyObject_GetAttr(k->net, str_pid);
+    if (v == NULL)
+        return NULL;
+    long long pid = PyLong_AsLongLong(v);
+    Py_DECREF(v);
+    if (pid == -1 && PyErr_Occurred())
+        return NULL;
+    k->pid = pid;
+    Py_RETURN_NONE;
 }
 
 static void
@@ -1034,6 +2328,7 @@ Kernel_clear(Kernel *k, PyObject *Py_UNUSED(ignored))
     memset(k->op_counts, 0, sizeof(k->op_counts));
     memset(k->esc_counts, 0, sizeof(k->esc_counts));
     memset(k->esc_ns, 0, sizeof(k->esc_ns));
+    memset(k->fast_counts, 0, sizeof(k->fast_counts));
     k->run_ns = 0.0;
     k->runs = 0;
     Py_RETURN_NONE;
@@ -1085,10 +2380,12 @@ Kernel_stats(Kernel *k, PyObject *Py_UNUSED(ignored))
     static const char *op_names[OP_COUNT] = {
         "RECV", "ENTER", "PWAKE", "DELIVER", "NWAKE", "GEN", "CALL"};
     static const char *esc_names[ESC_N] = {
-        "make_packet", "deliver", "call", "fault_divert"};
+        "make_packet", "deliver", "call", "fault_divert", "stats_flush"};
+    static const char *fast_names[FAST_N] = {"make_packet", "deliver"};
     PyObject *ops = PyDict_New();
     PyObject *escs = PyDict_New();
-    if (ops == NULL || escs == NULL)
+    PyObject *fasts = PyDict_New();
+    if (ops == NULL || escs == NULL || fasts == NULL)
         goto fail;
     unsigned long long total = 0;
     for (int i = 0; i < OP_COUNT; i++) {
@@ -1111,20 +2408,30 @@ Kernel_stats(Kernel *k, PyObject *Py_UNUSED(ignored))
         }
         Py_DECREF(e);
     }
+    for (int i = 0; i < FAST_N; i++) {
+        PyObject *e = Py_BuildValue("{s:K}", "count", k->fast_counts[i]);
+        if (e == NULL || PyDict_SetItemString(fasts, fast_names[i], e) < 0) {
+            Py_XDECREF(e);
+            goto fail;
+        }
+        Py_DECREF(e);
+    }
     {
         PyObject *out = Py_BuildValue(
-            "{s:K,s:N,s:N,s:d,s:d,s:K}",
+            "{s:K,s:N,s:N,s:N,s:d,s:d,s:K}",
             "events", total,
             "op_counts", ops,
             "escapes", escs,
+            "fast_path", fasts,
             "run_ns", k->run_ns,
             "escape_ns", esc_total_ns,
             "runs", k->runs);
-        return out; /* ops/escs references stolen by N */
+        return out; /* ops/escs/fasts references stolen by N */
     }
 fail:
     Py_XDECREF(ops);
     Py_XDECREF(escs);
+    Py_XDECREF(fasts);
     return NULL;
 }
 
@@ -1137,6 +2444,11 @@ Kernel_traverse(Kernel *k, visitproc visit, void *arg)
         Py_VISIT(k->heap[i].fn);
         Py_VISIT(k->heap[i].args);
     }
+    for (int i = 0; i < k->rng_n; i++) {
+        Py_VISIT(k->rng[i].obj);
+        Py_VISIT(k->rng[i].gauss);
+    }
+    Py_VISIT(k->net);
     return 0;
 }
 
@@ -1152,6 +2464,9 @@ Kernel_dealloc(Kernel *k)
 {
     PyObject_GC_UnTrack(k);
     kernel_drop_events(k);
+    for (int i = 0; i < k->rng_n; i++)
+        crng_drop(&k->rng[i]);
+    Py_CLEAR(k->net);
     PyMem_Free(k->heap);
     Py_TYPE(k)->tp_free((PyObject *)k);
 }
@@ -1171,6 +2486,12 @@ static PyMethodDef Kernel_methods[] = {
      "All queued event records as tuples (audits)."},
     {"stats", (PyCFunction)Kernel_stats, METH_NOARGS,
      "In-kernel event counts and Python-escape time split."},
+    {"resident", (PyCFunction)Kernel_resident, METH_NOARGS,
+     "True while routing RNG / packet-id state lives in the kernel."},
+    {"handoff_out", (PyCFunction)Kernel_handoff_out, METH_NOARGS,
+     "Sync resident RNG streams + Network._pid out to Python."},
+    {"handoff_in", (PyCFunction)Kernel_handoff_in, METH_NOARGS,
+     "Re-import RNG streams + Network._pid after a Python send."},
     {NULL, NULL, 0, NULL},
 };
 
@@ -1187,11 +2508,83 @@ static PyTypeObject KernelType = {
     .tp_new = PyType_GenericNew,
 };
 
+/* Test hook (tests/test_kernel_rng_parity.py): import the state of a
+ * random.Random, perform a scripted sequence of draws with the C
+ * generator, export the advanced state back, and return the drawn
+ * values.  Exercises exactly the import -> draw -> export path the
+ * fast path uses, so draw-for-draw equality here is the parity proof. */
+static PyObject *
+mod_rng_parity(PyObject *Py_UNUSED(self), PyObject *args)
+{
+    PyObject *rng_obj, *ops;
+    if (!PyArg_ParseTuple(args, "OO", &rng_obj, &ops))
+        return NULL;
+    CRng r;
+    memset(&r, 0, sizeof(r));
+    r.obj = rng_obj;
+    Py_INCREF(r.obj);
+    if (crng_import(&r) < 0) {
+        crng_drop(&r);
+        return NULL;
+    }
+    PyObject *out = PyList_New(0);
+    PyObject *seq = out ? PySequence_Fast(ops, "ops must be a sequence")
+                        : NULL;
+    if (seq == NULL)
+        goto fail;
+    for (Py_ssize_t i = 0; i < PySequence_Fast_GET_SIZE(seq); i++) {
+        PyObject *op = PySequence_Fast_GET_ITEM(seq, i);
+        const char *kind;
+        long arg;
+        if (!PyArg_ParseTuple(op, "sl", &kind, &arg))
+            goto fail;
+        long val;
+        if (strcmp(kind, "randbelow") == 0) {
+            val = mt_randbelow(&r, arg);
+        } else if (strcmp(kind, "getrandbits") == 0) {
+            if (arg < 1 || arg > 32) {
+                PyErr_SetString(PyExc_ValueError,
+                                "getrandbits arg must be in [1, 32]");
+                goto fail;
+            }
+            val = (long)mt_getrandbits(&r, (int)arg);
+        } else {
+            PyErr_Format(PyExc_ValueError, "unknown op %s", kind);
+            goto fail;
+        }
+        PyObject *v = PyLong_FromLong(val);
+        if (v == NULL)
+            goto fail;
+        int ar = PyList_Append(out, v);
+        Py_DECREF(v);
+        if (ar < 0)
+            goto fail;
+    }
+    if (crng_export(&r) < 0)
+        goto fail;
+    Py_DECREF(seq);
+    crng_drop(&r);
+    return out;
+fail:
+    Py_XDECREF(seq);
+    Py_XDECREF(out);
+    crng_drop(&r);
+    return NULL;
+}
+
+static PyMethodDef module_methods[] = {
+    {"_rng_parity", mod_rng_parity, METH_VARARGS,
+     "_rng_parity(rng, ops) -> list of draws; ops are "
+     "('randbelow'|'getrandbits', n) pairs. Test-only."},
+    {NULL, NULL, 0, NULL},
+};
+
 static struct PyModuleDef kernelmodule = {
     PyModuleDef_HEAD_INIT,
     .m_name = "_kernel",
     .m_doc = "Compiled event kernel for the batched simulator backend.",
     .m_size = -1,
+    .m_methods = module_methods,
 };
 
 PyMODINIT_FUNC
@@ -1209,7 +2602,22 @@ PyInit__kernel(void)
              PyUnicode_InternFromString("_nic_try_send")) == NULL ||
         (str_fault_manager =
              PyUnicode_InternFromString("fault_manager")) == NULL ||
-        (str_divert_tail = PyUnicode_InternFromString("divert_tail")) == NULL)
+        (str_divert_tail = PyUnicode_InternFromString("divert_tail")) == NULL ||
+        (str_fp = PyUnicode_InternFromString("_fp")) == NULL ||
+        (str_pid = PyUnicode_InternFromString("_pid")) == NULL ||
+        (str_tracer = PyUnicode_InternFromString("tracer")) == NULL ||
+        (str_msg_track = PyUnicode_InternFromString("_msg_track")) == NULL ||
+        (str_delivery_listeners =
+             PyUnicode_InternFromString("_delivery_listeners")) == NULL ||
+        (str_routers = PyUnicode_InternFromString("routers")) == NULL ||
+        (str_ports = PyUnicode_InternFromString("ports")) == NULL ||
+        (str_vcs = PyUnicode_InternFromString("vcs")) == NULL ||
+        (str_kind = PyUnicode_InternFromString("kind")) == NULL ||
+        (str_send_time = PyUnicode_InternFromString("send_time")) == NULL ||
+        (str_eject_time = PyUnicode_InternFromString("eject_time")) == NULL ||
+        (str_dst_node = PyUnicode_InternFromString("dst_node")) == NULL ||
+        (str_size = PyUnicode_InternFromString("size")) == NULL ||
+        (str_gen_time = PyUnicode_InternFromString("gen_time")) == NULL)
         return NULL;
 
     PyObject *collections = PyImport_ImportModule("collections");

@@ -33,6 +33,12 @@ experiment end (``audit`` / ``verify_quiescent``, the same entry points
 the object checker exposes); they walk live state only and schedule no
 events, so checking cannot perturb event order -- a checked batched run
 produces the same fingerprint as an unchecked one.
+
+On the kernel backend, an attached checker also gates the C fast paths
+off (``KernelEngine._fastpath_spec`` requires ``net.checker is None``
+because the checker wraps both seams): checked kernel runs take the
+per-packet make_packet/deliver escapes, and the goldens pin that both
+routes produce identical fingerprints.
 """
 
 from __future__ import annotations

@@ -252,6 +252,12 @@ class BatchedEngine:
         lazily from the pending-arrival deque; a credit stall pushes a
         wake at the earliest in-flight arrival key (the elided
         ``credit_return`` event that resumes the object NIC).
+
+        The kernel backend ports this method line-for-line to C for
+        its route fast path (``fast_nic_send`` in ``_kernel.c``) and
+        wraps it with an RNG/packet-id state handoff for mid-run
+        Python sends (``KernelEngine._nic_try_send``); behavioural
+        changes here must be mirrored there.
         """
         st = self.st
         c = st.n_cred[node]

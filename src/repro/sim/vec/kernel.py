@@ -48,8 +48,13 @@ import subprocess
 import sys
 import sysconfig
 from pathlib import Path
+from types import SimpleNamespace
 from typing import Iterator, Optional
 
+from repro.routing.minimal import MinimalRouting
+from repro.routing.ugal import UGALRouting
+from repro.routing.valiant import IndirectRandomRouting
+from repro.sim.packet import Packet
 from repro.sim.vec.engine import BatchedEngine
 
 __all__ = ["KernelEngine", "load_kernel", "load_error"]
@@ -147,6 +152,117 @@ class KernelEngine(BatchedEngine):
         if mod is None:
             raise RuntimeError(f"compiled kernel unavailable: {load_error}")
         self._k = mod.Kernel()
+        #: Fast-path spec for the C side (recomputed per run; None = off).
+        self._fp = None
+
+    # -- fast-path spec --------------------------------------------------------
+
+    def _fastpath_spec(self):
+        """Bindings for the C fast paths, or ``None`` when ineligible.
+
+        Two independently-gated tiers (the C side reads this via
+        ``eng._fp`` at run start):
+
+        * ``route_mode >= 0`` moves the entire NIC send -- routing
+          candidate selection (with a C replica of the ``random.Random``
+          draw stream), ``Packet`` construction and inject accounting --
+          behind the C boundary.  Requires compiled routing of a known
+          type and no checker (the checker wraps ``net.make_packet``).
+        * ``deliver_fast`` accumulates the per-packet eject statistics
+          in C arrays, flushed via ``StatsCollector.absorb_kernel``.
+          Requires no checker/tracer/listener/message-tracking observer.
+
+        Escapes remain for cold paths only: cache-row misses (BFS refill
+        under faults) call back into ``RouteCache``, scheduled CALLs and
+        fault diverts run in Python with the RNG/packet-id state handed
+        off around them (see ``_nic_try_send``), and unknown routing
+        setups keep the full Python escape.  Set
+        ``REPRO_KERNEL_NO_FASTPATH=1`` to force escapes everywhere.
+        """
+        if os.environ.get("REPRO_KERNEL_NO_FASTPATH"):
+            return None
+        net = self.net
+        if net.checker is not None:
+            return None
+        routing = net.routing
+        cache = getattr(routing, "cache", None)
+        route_mode = -1
+        rngs = []
+        if getattr(routing, "compiled", False) and cache is not None:
+            # Strict type checks: a subclass could override route(), so
+            # only the exact implementations ported to C are eligible.
+            rtype = type(routing)
+            if rtype is MinimalRouting:
+                if routing.selection == "random":
+                    route_mode, rngs = 0, [routing._rng]
+                else:
+                    route_mode = 1
+            elif rtype is IndirectRandomRouting:
+                route_mode, rngs = 2, [routing._rng]
+            elif (
+                rtype is UGALRouting
+                and routing._local
+                and routing._minimal_random
+            ):
+                route_mode = 3
+                rngs = [routing._minimal._rng, routing._indirect._rng]
+        deliver_fast = int(
+            net.tracer is None
+            and not net._delivery_listeners
+            and net._msg_track is None
+        )
+        if route_mode < 0 and not deliver_fast:
+            return None
+        stats = net.stats
+        threshold = getattr(routing, "threshold", None)
+        pool = getattr(routing, "_pool", None)
+        return SimpleNamespace(
+            route_mode=route_mode,
+            deliver_fast=deliver_fast,
+            stats_absorb=stats.absorb_kernel,
+            win_start=stats.window_start,
+            win_end=stats.window_end,
+            rngs=rngs,
+            packet_cls=Packet,
+            eject_ports=net._eject_ports,
+            min_rows=cache.minimal_rows if cache is not None else None,
+            leg_rows=cache.leg_rows if cache is not None else None,
+            composed=cache._composed if cache is not None else None,
+            selfs=cache._self if cache is not None else None,
+            minimal_fill=cache.minimal_fill if cache is not None else None,
+            leg_fill=cache.leg_fill if cache is not None else None,
+            compose=cache.compose if cache is not None else None,
+            compose_or_none=(
+                cache.compose_or_none if cache is not None else None
+            ),
+            self_route=cache.self_route if cache is not None else None,
+            pool=pool,
+            n_indirect=getattr(routing, "num_indirect", 0),
+            sf_mode=int(getattr(routing, "_sf_mode", False)),
+            c=float(getattr(routing, "c", 0.0)),
+            c_sf=float(getattr(routing, "c_sf", 0.0)),
+            thr_cap=(
+                threshold * net.queue_capacity()
+                if threshold is not None
+                else None
+            ),
+        )
+
+    def _nic_try_send(self, node, t, s) -> None:
+        # Mid-run Python sends (BatchedNIC.submit / set_source from
+        # inside a CALL escape) draw from the routing RNGs and allocate
+        # packet ids while those live in the kernel: hand the state out,
+        # run the Python path, and pull it back so the C fast path
+        # resumes the identical streams.
+        k = self._k
+        if k.resident():
+            k.handoff_out()
+            try:
+                super()._nic_try_send(node, t, s)
+            finally:
+                k.handoff_in()
+        else:
+            super()._nic_try_send(node, t, s)
 
     # Cold-path pushes (schedule/schedule_at, _nic_try_send, the fault
     # manager's drain, setup_synthetic) all funnel through _push, so
@@ -177,6 +293,7 @@ class KernelEngine(BatchedEngine):
             max_events: Optional[int] = None) -> int:
         # Same GC fencing as the Python loop: the kernel allocates event
         # keys and credit tuples heavily but never cycles.
+        self._fp = self._fastpath_spec()
         gc_was = gc.isenabled()
         if gc_was:
             gc.disable()

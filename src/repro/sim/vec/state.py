@@ -70,7 +70,7 @@ class SoAState:
         "iv_q",
         # NIC state (len NN)
         "n_q", "n_src", "n_cred", "n_arr", "n_busy_t", "n_busy_s",
-        "n_wake", "n_stalls", "n_qp", "n_in", "n_cred_cap",
+        "n_wake", "n_stalls", "n_qp", "n_in", "n_rid", "n_cred_cap",
         # packet SoA (index = pid; slot 0 is a placeholder)
         "k_ports", "k_vcs", "k_hop", "k_obj",
         # UGAL congestion row table (flat, stride NR):
@@ -175,8 +175,13 @@ class SoAState:
         st.n_stalls = [0] * NN
         st.n_qp = [0] * NN
         st.n_in = [0] * NN
+        # Node -> router id, for the kernel's in-C route selection
+        # (make_packet resolves both endpoints via topology.router_of;
+        # the flat list is the array-friendly equivalent).
+        st.n_rid = [0] * NN
         for node, nic in enumerate(net.nics):
             st.n_in[node] = st.in_off[nic.router_id] + nic.in_idx
+            st.n_rid[node] = nic.router_id
 
         # Packet SoA; pids are 1-based (Network._pid pre-increments).
         st.k_ports = [()]

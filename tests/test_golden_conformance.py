@@ -87,13 +87,40 @@ needs_kernel = pytest.mark.skipif(
 
 
 @needs_kernel
-@pytest.mark.parametrize("check", [False, True])
+@pytest.mark.parametrize("check,fastpath", [
+    (False, True),   # route fast path live (the production default)
+    (False, False),  # REPRO_KERNEL_NO_FASTPATH: per-packet escapes
+    (True, True),    # checker wraps make_packet: fast path self-gates
+])
 @pytest.mark.parametrize("case_key", conformance.CASE_KEYS)
-def test_kernel_backend_matches_golden(golden, case_key, check):
+def test_kernel_backend_matches_golden(golden, case_key, check, fastpath,
+                                       monkeypatch):
     # The compiled-kernel acceptance bar: every committed fingerprint is
-    # reproduced bit-identically by the C dispatch core, checked (the
-    # audit-based BatchedChecker over kernel runs) and unchecked.
+    # reproduced bit-identically by the C dispatch core -- checked (the
+    # audit-based BatchedChecker over kernel runs), unchecked with the
+    # C route-selection fast path live (where the delivery listener
+    # forces only the deliver escape), and with the fast path disabled
+    # via the REPRO_KERNEL_NO_FASTPATH escape hatch.  The on/off pair
+    # is the differential gate on the C routing + RNG replica itself.
+    if fastpath:
+        monkeypatch.delenv("REPRO_KERNEL_NO_FASTPATH", raising=False)
+    else:
+        monkeypatch.setenv("REPRO_KERNEL_NO_FASTPATH", "1")
     got = conformance.run_case(case_key, check=check, backend="kernel")
+    problems = conformance.diff_fingerprints({case_key: golden[case_key]},
+                                             {case_key: got})
+    assert not problems, "\n".join(problems)
+
+
+@needs_kernel
+@pytest.mark.parametrize("case_key", conformance.CASE_KEYS)
+def test_kernel_no_listener_stats_match_golden(golden, case_key):
+    # Without a delivery listener the kernel's C delivery-accounting
+    # fast path is live (no per-packet deliver escape at all); the
+    # WindowStats it accumulates C-side -- including the order-
+    # sensitive latency reductions -- must still equal the goldens.
+    got = conformance.run_case(case_key, backend="kernel", listener=False)
+    assert got["digest"] is None  # stats-only fingerprint
     problems = conformance.diff_fingerprints({case_key: golden[case_key]},
                                              {case_key: got})
     assert not problems, "\n".join(problems)
@@ -143,6 +170,20 @@ def test_fault_case_matches_golden(fault_golden, check, backend):
     # divert escape (ENTER on a dead port) and the fail-time drain
     # through the engine's cold-path mirrors.
     got = conformance.run_fault_case(check=check, backend=backend)
+    problems = conformance.diff_fault_fingerprint(fault_golden, got)
+    assert not problems, "\n".join(problems)
+
+
+@pytest.mark.parametrize("check", [False, True])
+def test_fault_case_kernel_no_fastpath_matches_golden(fault_golden, check,
+                                                      monkeypatch):
+    # The fault golden again with the kernel fast paths forced off:
+    # both halves of the escape hatch must reproduce the same
+    # fingerprint, or the hatch itself would mask a fast-path bug.
+    if _load_kernel() is None:
+        pytest.skip("compiled kernel unavailable")
+    monkeypatch.setenv("REPRO_KERNEL_NO_FASTPATH", "1")
+    got = conformance.run_fault_case(check=check, backend="kernel")
     problems = conformance.diff_fault_fingerprint(fault_golden, got)
     assert not problems, "\n".join(problems)
 

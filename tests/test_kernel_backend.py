@@ -84,9 +84,13 @@ class TestKernelEngine:
         assert net.backend_in_use == "kernel"
         assert type(net.engine).__name__ == "KernelEngine"
 
-    def test_kernel_stats_expose_escape_split(self):
-        # The --profile satellite: in-kernel event counts and the
-        # time/count split of every Python escape class.
+    def test_kernel_stats_expose_escape_split(self, monkeypatch):
+        # The --profile satellite: in-kernel event counts, the
+        # time/count split of every Python escape class, and the
+        # fast-path counters showing per-packet work stayed in C.
+        # (The CI no-fastpath leg exports the escape hatch globally;
+        # this test is specifically about the fast path being live.)
+        monkeypatch.delenv("REPRO_KERNEL_NO_FASTPATH", raising=False)
         net = self._net()
         net.run_synthetic(
             UniformRandom(net.topology.num_nodes), load=0.5,
@@ -96,15 +100,39 @@ class TestKernelEngine:
         assert s["events"] > 0
         assert s["runs"] >= 1
         assert set(s["escapes"]) == {
-            "make_packet", "deliver", "call", "fault_divert"}
-        # Every injected packet routes via one make_packet escape and
-        # lands via one deliver escape.
-        assert s["escapes"]["make_packet"]["count"] == net.stats.injected_total
-        assert s["escapes"]["deliver"]["count"] == net.stats.ejected_total
+            "make_packet", "deliver", "call", "fault_divert", "stats_flush"}
+        assert set(s["fast_path"]) == {"make_packet", "deliver"}
+        # UGAL routing compiles to the C fast path: every injected
+        # packet routes and lands without a per-packet Python escape.
+        assert s["escapes"]["make_packet"]["count"] == 0
+        assert s["escapes"]["deliver"]["count"] == 0
+        assert (s["fast_path"]["make_packet"]["count"]
+                == net.stats.injected_total)
+        assert s["fast_path"]["deliver"]["count"] == net.stats.ejected_total
         assert s["escapes"]["fault_divert"]["count"] == 0
+        # Cold paths still escape: the scheduled reset_utilization CALL
+        # and the accumulator flushes it fences.
+        assert s["escapes"]["call"]["count"] >= 1
         assert 0.0 < s["escape_ns"] < s["run_ns"]
         # Opcode counters sum to the events the engine reported.
         assert sum(s["op_counts"].values()) == s["events"]
+
+    def test_no_fastpath_escape_hatch_restores_per_packet_escapes(
+        self, monkeypatch
+    ):
+        # REPRO_KERNEL_NO_FASTPATH forces the per-packet escapes (the
+        # fallback leg the conformance matrix parametrizes over).
+        monkeypatch.setenv("REPRO_KERNEL_NO_FASTPATH", "1")
+        net = self._net()
+        net.run_synthetic(
+            UniformRandom(net.topology.num_nodes), load=0.5,
+            warmup_ns=300.0, measure_ns=1200.0, seed=1, drain=True,
+        )
+        s = net.engine.kernel_stats()
+        assert s["fast_path"]["make_packet"]["count"] == 0
+        assert s["fast_path"]["deliver"]["count"] == 0
+        assert s["escapes"]["make_packet"]["count"] > 0
+        assert s["escapes"]["deliver"]["count"] == net.stats.ejected_total
 
     def test_iter_pending_yields_engine_format_records(self):
         # BatchedChecker.audit classifies pending records by integer op;

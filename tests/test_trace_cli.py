@@ -222,6 +222,56 @@ class TestSimulateTraceOutput:
         assert "packets recorded" not in captured.out
 
 
+class TestKernelProfileOutput:
+    needs_kernel = pytest.mark.skipif(
+        __import__("repro.sim.vec.kernel", fromlist=["load_kernel"])
+        .load_kernel() is None,
+        reason="compiled kernel unavailable",
+    )
+
+    @needs_kernel
+    def test_profile_reports_fast_path_and_escape_rows(self, capsys):
+        rc = main([
+            "simulate", "sf:q=4", "--routing", "ugal", "--pattern", "uniform",
+            "--load", "0.3", "--warmup", "200", "--measure", "800",
+            "--backend", "kernel", "--profile",
+        ])
+        assert rc == 0
+        err = capsys.readouterr().err
+        assert "kernel escape split" in err
+        # Per-packet work stays in C and the table says so explicitly.
+        assert "fast-path make_packet" in err
+        assert "fast-path deliver" in err
+        # Cold paths (the scheduled reset CALL) still show as escapes.
+        assert "escape call:" in err
+
+    @needs_kernel
+    def test_profile_zero_escape_run_is_wellformed(self, capsys):
+        # Regression: a kernel that never ran (run_ns == 0, no escapes)
+        # used to print an empty table; the percent math must not
+        # divide by zero and the empty escape set must be explicit.
+        from repro.cli import _print_kernel_profile
+        from repro.routing import UGALRouting
+        from repro.sim import SimConfig
+
+        topo = SlimFly(4)
+        net = Network(topo, UGALRouting(topo, seed=0),
+                      SimConfig(backend="kernel"))
+        _print_kernel_profile(net)
+        err = capsys.readouterr().err
+        assert "in-kernel: 0 events" in err
+        assert "escapes: none" in err
+        assert "nan" not in err and "inf" not in err
+
+    def test_profile_silent_on_python_backends(self, capsys):
+        from repro.cli import _print_kernel_profile
+
+        topo = SlimFly(4)
+        net = Network(topo, MinimalRouting(topo, seed=0))
+        _print_kernel_profile(net)
+        assert capsys.readouterr().err == ""
+
+
 class TestWorkloadCommand:
     def test_ring_allreduce_serial(self, capsys):
         rc = main([
